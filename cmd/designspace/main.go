@@ -1,0 +1,125 @@
+// Command designspace regenerates Table I and the §IV design-space
+// exploration: every Table I parameter group scaled to ~4×, alone and
+// in the paper's combinations, with per-benchmark and average
+// speedups. The paper reports averages of L1 +4%, L2 +59%, DRAM +11%,
+// L1+L2 +69% and L2+DRAM +76%.
+//
+// Usage:
+//
+//	designspace [-table] [-sets l1,l2,dram,l1l2,l2dram]
+//	            [-warmup 6000] [-window 20000] [-per-param]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	gpgpumem "repro"
+)
+
+func main() {
+	var (
+		table    = flag.Bool("table", false, "print Table I (the design space itself) and exit")
+		setsFlag = flag.String("sets", "l1,l2,dram,l1l2,l2dram", "scaling sets to evaluate")
+		warmup   = flag.Int64("warmup", 6000, "warm-up cycles")
+		window   = flag.Int64("window", 20000, "measurement window")
+		perParam = flag.Bool("per-param", false, "ablation: scale each Table I parameter individually (sc workload)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of the table")
+	)
+	flag.Parse()
+
+	if *table {
+		printTableI()
+		return
+	}
+	if *perParam {
+		perParamAblation(*warmup, *window)
+		return
+	}
+
+	var sets []gpgpumem.ScalingSet
+	for _, s := range strings.Split(*setsFlag, ",") {
+		set, err := gpgpumem.ParseScalingSet(strings.TrimSpace(s))
+		if err != nil {
+			fatal(err)
+		}
+		sets = append(sets, set)
+	}
+	p := gpgpumem.RunParams{WarmupCycles: *warmup, WindowCycles: *window}
+	res, err := gpgpumem.RunDesignSpace(gpgpumem.DefaultConfig(), gpgpumem.Suite(), sets, p)
+	if err != nil {
+		fatal(err)
+	}
+	if *csv {
+		fmt.Print(res.CSV())
+		return
+	}
+	fmt.Print(res.String())
+}
+
+func printTableI() {
+	fmt.Println("Table I — consolidated design space to mitigate congestion")
+	fmt.Printf("\n%-10s %-22s %-4s %-20s %-20s\n", "group", "parameter", "type", "baseline", "scaled (~4x)")
+	group := ""
+	for _, row := range gpgpumem.TableI() {
+		g := row.Group
+		if g == group {
+			g = ""
+		} else {
+			group = g
+		}
+		fmt.Printf("%-10s %-22s %-4s %-20s %-20s\n", g, row.Parameter, row.Type, row.Baseline, row.Scaled)
+	}
+}
+
+// perParamAblation scales each Table I knob individually on the most
+// hierarchy-bound workload, quantifying which knob inside each group
+// matters — detail the paper's group-level averages hide.
+func perParamAblation(warmup, window int64) {
+	wl, err := gpgpumem.WorkloadByName("sc")
+	if err != nil {
+		fatal(err)
+	}
+	type knob struct {
+		name string
+		mut  func(*gpgpumem.Config)
+	}
+	knobs := []knob{
+		{"dram sched queue x4", func(c *gpgpumem.Config) { c.DRAM.SchedQueue *= 4 }},
+		{"dram banks x4", func(c *gpgpumem.Config) { c.DRAM.BanksPerChip *= 4 }},
+		{"dram bus width x2", func(c *gpgpumem.Config) { c.DRAM.BusWidthBits *= 2 }},
+		{"l2 miss queue x4", func(c *gpgpumem.Config) { c.L2.MissQueue *= 4 }},
+		{"l2 response queue x4", func(c *gpgpumem.Config) { c.L2.ResponseQueue *= 4; c.L2.DRAMReturnQueue *= 4 }},
+		{"l2 mshr x4", func(c *gpgpumem.Config) { c.L2.MSHREntries *= 4 }},
+		{"l2 access queue x4", func(c *gpgpumem.Config) { c.L2.AccessQueue *= 4 }},
+		{"l2 data port x4", func(c *gpgpumem.Config) { c.L2.DataPortBytes *= 4 }},
+		{"flit size x4", func(c *gpgpumem.Config) { c.Icnt.FlitSizeBytes *= 4 }},
+		{"l2 banks x4", func(c *gpgpumem.Config) { c.L2.BanksPerPartition *= 4 }},
+		{"l1 miss queue x4", func(c *gpgpumem.Config) { c.L1.MissQueue *= 4 }},
+		{"l1 mshr x4", func(c *gpgpumem.Config) { c.L1.MSHREntries *= 4 }},
+		{"mem pipeline x4", func(c *gpgpumem.Config) { c.Core.MemPipelineWidth *= 4 }},
+	}
+	base, err := gpgpumem.NewSystem(gpgpumem.DefaultConfig(), wl)
+	if err != nil {
+		fatal(err)
+	}
+	baseIPC := base.Measure(warmup, window).IPC
+	fmt.Printf("per-parameter ablation on sc (baseline IPC %.3f)\n\n", baseIPC)
+	for _, k := range knobs {
+		cfg := gpgpumem.DefaultConfig()
+		k.mut(&cfg)
+		sys, err := gpgpumem.NewSystem(cfg, wl)
+		if err != nil {
+			fatal(err)
+		}
+		ipc := sys.Measure(warmup, window).IPC
+		fmt.Printf("  %-24s %+6.1f%%\n", k.name, (ipc/baseIPC-1)*100)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "designspace:", err)
+	os.Exit(1)
+}

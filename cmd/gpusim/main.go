@@ -1,0 +1,94 @@
+// Command gpusim runs one simulation — a workload on a configuration —
+// and prints the full measurement report.
+//
+// Usage:
+//
+//	gpusim [-workload sc] [-scale baseline|l1|l2|dram|l1l2|l2dram|all]
+//	       [-warmup 6000] [-window 20000] [-fixed-latency -1]
+//	       [-config file.json] [-dump-config] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	gpgpumem "repro"
+)
+
+func main() {
+	var (
+		wlName   = flag.String("workload", "sc", "benchmark name (one of: cfd dwt2d leukocyte nn nw sc lbm ss)")
+		scale    = flag.String("scale", "baseline", "Table I scaling set: baseline|l1|l2|dram|l1l2|l2dram|all")
+		warmup   = flag.Int64("warmup", 6000, "warm-up cycles before measurement")
+		window   = flag.Int64("window", 20000, "measurement window in core cycles")
+		fixedLat = flag.Int64("fixed-latency", -1, "if >= 0, replace the hierarchy below L1 with this fixed miss latency (Fig. 1 mode)")
+		cfgPath  = flag.String("config", "", "load configuration from a JSON file instead of the baseline")
+		dumpCfg  = flag.Bool("dump-config", false, "print the effective configuration as JSON and exit")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		tracePth = flag.String("trace", "", "replay a tracegen-recorded trace instead of a built-in workload")
+	)
+	flag.Parse()
+
+	cfg := gpgpumem.DefaultConfig()
+	if *cfgPath != "" {
+		data, err := os.ReadFile(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err = loadConfig(data)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	set, err := gpgpumem.ParseScalingSet(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	cfg = set.Apply(cfg)
+	cfg.Seed = *seed
+	if *fixedLat >= 0 {
+		cfg.FixedLatency = gpgpumem.FixedLatencyConfig{Enabled: true, Cycles: *fixedLat}
+	}
+	if *dumpCfg {
+		out, err := cfg.ToJSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+
+	var wl gpgpumem.Workload
+	var err2 error
+	if *tracePth != "" {
+		f, err := os.Open(*tracePth)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		wl, err2 = gpgpumem.ParseTrace(*tracePth, f)
+	} else {
+		wl, err2 = gpgpumem.WorkloadByName(*wlName)
+	}
+	if err2 != nil {
+		fatal(err2)
+	}
+	sys, err := gpgpumem.NewSystem(cfg, wl)
+	if err != nil {
+		fatal(err)
+	}
+	res := sys.Measure(*warmup, *window)
+	fmt.Printf("workload %s on %s config (%d-cycle window after %d warm-up)\n\n",
+		wl.Name(), set, *window, *warmup)
+	fmt.Print(res.String())
+}
+
+func loadConfig(data []byte) (gpgpumem.Config, error) {
+	return gpgpumem.ConfigFromJSON(data)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpusim:", err)
+	os.Exit(1)
+}

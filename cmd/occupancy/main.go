@@ -1,0 +1,48 @@
+// Command occupancy regenerates §III: the fraction of their usage
+// lifetime the bounded memory-system queues spend completely full, per
+// benchmark and averaged over the suite. The paper reports 46% for
+// the L2 access queues and 39% for the DRAM scheduler queues.
+//
+// Usage:
+//
+//	occupancy [-warmup 6000] [-window 20000] [-detail]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	gpgpumem "repro"
+)
+
+func main() {
+	var (
+		warmup = flag.Int64("warmup", 6000, "warm-up cycles")
+		window = flag.Int64("window", 20000, "measurement window")
+		detail = flag.Bool("detail", false, "also print mean occupancies and the remaining queue families")
+		csv    = flag.Bool("csv", false, "emit CSV instead of the table")
+	)
+	flag.Parse()
+
+	p := gpgpumem.RunParams{WarmupCycles: *warmup, WindowCycles: *window}
+	rep, err := gpgpumem.RunQueueOccupancy(gpgpumem.DefaultConfig(), gpgpumem.Suite(), p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "occupancy:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Print(rep.CSV())
+		return
+	}
+	fmt.Print(rep.String())
+
+	if *detail {
+		fmt.Println("\nper-benchmark detail (mean occupancy / capacity)")
+		fmt.Printf("%-10s %18s %18s\n", "bench", "L2-access", "DRAM-sched")
+		for _, row := range rep.Rows {
+			fmt.Printf("%-10s %13.1f / 8 %13.1f / 16\n",
+				row.Workload, row.L2AccessMeanOcc, row.DRAMSchedMeanOcc)
+		}
+	}
+}

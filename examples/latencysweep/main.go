@@ -1,0 +1,40 @@
+// Latencysweep: a miniature Fig. 1. Two benchmarks with very
+// different memory behaviour — sc (hierarchy-bound) and nn
+// (streaming) — are swept over fixed L1 miss latencies, showing how
+// much performance each leaves on the table at its baseline latency.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	gpgpumem "repro"
+)
+
+func main() {
+	base := gpgpumem.DefaultConfig()
+	p := gpgpumem.RunParams{WarmupCycles: 4000, WindowCycles: 12000}
+	lats := []int64{0, 100, 200, 300, 400, 500, 600, 700, 800}
+
+	for _, name := range []string{"sc", "nn"} {
+		wl, err := gpgpumem.WorkloadByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		curve, err := gpgpumem.RunLatencyTolerance(base, wl, lats, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  (baseline IPC %.2f, avg miss latency %.0f cycles)\n",
+			name, curve.BaselineIPC, curve.BaselineAvgMissLatency)
+		for _, pt := range curve.Points {
+			bar := strings.Repeat("#", int(pt.Normalized*12))
+			fmt.Printf("  lat %4d  %5.2fx  %s\n", pt.Latency, pt.Normalized, bar)
+		}
+		fmt.Printf("  crossover (≈ baseline latency equivalent): %.0f cycles\n\n",
+			curve.CrossoverLatency)
+	}
+	fmt.Println("sc's tall plateau says the cache hierarchy, not DRAM, holds it back;")
+	fmt.Println("nn's shallow curve says it is bandwidth-bound rather than latency-bound.")
+}

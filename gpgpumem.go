@@ -1,0 +1,202 @@
+// Package gpgpumem is a cycle-level simulator of a GPGPU memory
+// hierarchy — private L1 data caches with MSHRs, a flit-serialized
+// crossbar interconnect, banked shared-L2 memory partitions, and
+// GDDR channels with FR-FCFS scheduling — built to reproduce
+//
+//	S. Dublish, V. Nagarajan, N. Topham,
+//	"Characterizing Memory Bottlenecks in GPGPU Workloads",
+//	IISWC 2016.
+//
+// The baseline architecture models an NVIDIA GTX480 (Fermi) with the
+// queue/MSHR/bank/port parameters of the paper's Table I. Three
+// experiment harnesses regenerate the paper's artifacts:
+//
+//   - RunLatencyTolerance — Fig. 1, the latency-tolerance profile,
+//     plus the §II baseline-latency/crossover analysis;
+//   - RunQueueOccupancy — §III, queue full-of-usage occupancy;
+//   - RunDesignSpace — Table I / §IV, the ~4× design-space scaling.
+//
+// Quick start:
+//
+//	wl, _ := gpgpumem.WorkloadByName("sc")
+//	sys, _ := gpgpumem.NewSystem(gpgpumem.DefaultConfig(), wl)
+//	res := sys.Measure(6000, 20000)
+//	fmt.Println(res)
+package gpgpumem
+
+import (
+	"io"
+
+	"repro/internal/config"
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config is the architectural description of the simulated GPU. See
+// DefaultConfig for the paper's GTX480 baseline.
+type Config = config.Config
+
+// FixedLatencyConfig enables the Fig. 1 apparatus: every L1 miss is
+// answered after a fixed number of cycles with infinite bandwidth.
+type FixedLatencyConfig = config.FixedLatencyConfig
+
+// ScalingSet names a Table I design-space transform (§IV).
+type ScalingSet = config.ScalingSet
+
+// The §IV design-space configurations.
+const (
+	ScaleNone   = config.ScaleNone
+	ScaleL1     = config.ScaleL1
+	ScaleL2     = config.ScaleL2
+	ScaleDRAM   = config.ScaleDRAM
+	ScaleL1L2   = config.ScaleL1L2
+	ScaleL2DRAM = config.ScaleL2DRAM
+	ScaleAll    = config.ScaleAll
+)
+
+// TableIRow is one row of the paper's Table I design space.
+type TableIRow = config.TableIRow
+
+// DefaultConfig returns the paper's baseline: a GTX480-like GPU with
+// Table I baseline parameters.
+func DefaultConfig() Config { return config.GTX480Baseline() }
+
+// TableI returns the paper's Table I, rendered from the live config
+// code so it cannot drift from the implementation.
+func TableI() []TableIRow { return config.TableI() }
+
+// ParseScalingSet converts CLI strings such as "l2" or "l2+dram" into
+// a ScalingSet.
+func ParseScalingSet(s string) (ScalingSet, error) { return config.ParseScalingSet(s) }
+
+// ConfigFromJSON parses and validates a configuration produced by
+// Config.ToJSON.
+func ConfigFromJSON(data []byte) (Config, error) { return config.FromJSON(data) }
+
+// Workload supplies per-warp instruction streams to the simulator.
+type Workload = workload.Workload
+
+// WorkloadSpec is a declarative synthetic-kernel model; it implements
+// Workload and is how custom workloads are built.
+type WorkloadSpec = workload.Spec
+
+// Access patterns for WorkloadSpec.
+const (
+	Streaming = workload.Streaming
+	Strided   = workload.Strided
+	Stencil   = workload.Stencil
+	Gather    = workload.Gather
+	Thrash    = workload.Thrash
+)
+
+// WorkloadByName returns one of the built-in benchmark models
+// (cfd, dwt2d, leukocyte, nn, nw, sc, lbm, ss).
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// WorkloadNames lists the built-in benchmarks.
+func WorkloadNames() []string { return workload.Names() }
+
+// Suite returns the paper's Fig. 1 benchmark suite in figure order.
+func Suite() []Workload { return workload.Suite() }
+
+// RecordTrace writes n instructions of every warp stream of wl for
+// the given number of SMs in the text trace format (cmd/tracegen's
+// output). lineSize should match the config the trace will run under.
+func RecordTrace(wl Workload, sms, n int, seed, lineSize uint64, w io.Writer) error {
+	return trace.Record(wl, sms, n, seed, lineSize, w)
+}
+
+// ParseTrace reads a recorded trace; the result is a Workload that
+// replays it (padding with ALU instructions once exhausted).
+func ParseTrace(name string, r io.Reader) (Workload, error) {
+	return trace.Parse(name, r)
+}
+
+// Results is the measurement snapshot of one simulation window.
+type Results = sim.Results
+
+// System is one simulated GPU instance running a workload.
+type System struct {
+	gpu *sim.GPU
+}
+
+// NewSystem builds a simulator for cfg running wl.
+func NewSystem(cfg Config, wl Workload) (*System, error) {
+	g, err := sim.New(cfg, wl)
+	if err != nil {
+		return nil, err
+	}
+	return &System{gpu: g}, nil
+}
+
+// Run advances the system by n core cycles.
+func (s *System) Run(n int64) { s.gpu.Run(n) }
+
+// Cycle returns the current core-clock cycle.
+func (s *System) Cycle() int64 { return s.gpu.Cycle() }
+
+// ResetStats starts a fresh measurement window (architectural state —
+// cache contents, queue occupancy, warp progress — is preserved).
+func (s *System) ResetStats() { s.gpu.ResetStats() }
+
+// Results returns the statistics gathered since the last ResetStats.
+func (s *System) Results() Results { return s.gpu.Results() }
+
+// Measure is the standard methodology in one call: run warmup cycles,
+// reset statistics, run window cycles, and return the window results.
+func (s *System) Measure(warmup, window int64) Results {
+	s.gpu.Run(warmup)
+	s.gpu.ResetStats()
+	s.gpu.Run(window)
+	return s.gpu.Results()
+}
+
+// RunParams sets warmup and measurement-window lengths for the
+// experiment harnesses.
+type RunParams = exp.RunParams
+
+// DefaultRunParams returns the harnesses' default methodology.
+func DefaultRunParams() RunParams { return exp.DefaultRunParams() }
+
+// LatencyCurve is one benchmark's Fig. 1 latency-tolerance profile.
+type LatencyCurve = exp.Fig1Curve
+
+// LatencyPoint is one x/y point of a latency-tolerance curve.
+type LatencyPoint = exp.LatencyPoint
+
+// LatencyReport is the complete Fig. 1 sweep over a suite.
+type LatencyReport = exp.Fig1Report
+
+// DefaultLatencies returns Fig. 1's x-axis (0..800 step 50).
+func DefaultLatencies() []int64 { return exp.DefaultLatencies() }
+
+// RunLatencyTolerance regenerates one Fig. 1 curve: it measures the
+// baseline, then sweeps the fixed L1 miss latency.
+func RunLatencyTolerance(base Config, wl Workload, latencies []int64, p RunParams) (LatencyCurve, error) {
+	return exp.RunFig1(base, wl, latencies, p)
+}
+
+// RunLatencyToleranceSuite regenerates all of Fig. 1.
+func RunLatencyToleranceSuite(base Config, suite []Workload, latencies []int64, p RunParams) (LatencyReport, error) {
+	return exp.RunFig1Suite(base, suite, latencies, p)
+}
+
+// OccupancyReport is the §III queue-congestion characterization.
+type OccupancyReport = exp.OccupancyReport
+
+// RunQueueOccupancy regenerates §III: the fraction of usage lifetime
+// each bounded queue spends full, per benchmark and averaged.
+func RunQueueOccupancy(base Config, suite []Workload, p RunParams) (OccupancyReport, error) {
+	return exp.RunOccupancy(base, suite, p)
+}
+
+// DesignSpaceResult is the §IV exploration outcome.
+type DesignSpaceResult = exp.DesignSpaceResult
+
+// RunDesignSpace regenerates §IV: per-workload and average speedups
+// for each Table I scaling set.
+func RunDesignSpace(base Config, suite []Workload, sets []ScalingSet, p RunParams) (DesignSpaceResult, error) {
+	return exp.RunDesignSpace(base, suite, sets, p)
+}

@@ -1,0 +1,151 @@
+package gpgpumem
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfigIsPaperBaseline(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Core.NumSMs != 15 || cfg.L2.Partitions != 6 {
+		t.Fatalf("not a GTX480 shape: %d SMs, %d partitions", cfg.Core.NumSMs, cfg.L2.Partitions)
+	}
+	if cfg.L2.AccessQueue != 8 || cfg.DRAM.SchedQueue != 16 || cfg.Core.MemPipelineWidth != 10 {
+		t.Fatalf("Table I baseline values wrong")
+	}
+}
+
+func TestSuiteMatchesFigureLegend(t *testing.T) {
+	want := []string{"cfd", "dwt2d", "leukocyte", "nn", "nw", "sc", "lbm", "ss"}
+	suite := Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("suite size %d", len(suite))
+	}
+	for i, w := range suite {
+		if w.Name() != want[i] {
+			t.Fatalf("suite[%d] = %s, want %s", i, w.Name(), want[i])
+		}
+	}
+}
+
+func TestSystemMeasure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Core.NumSMs = 4
+	cfg.L2.Partitions = 2
+	wl, err := WorkloadByName("sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Measure(1500, 4000)
+	if res.Cycles != 4000 || res.IPC <= 0 {
+		t.Fatalf("bad measurement: %+v", res)
+	}
+	if sys.Cycle() != 5500 {
+		t.Fatalf("cycle = %d", sys.Cycle())
+	}
+}
+
+func TestCustomWorkloadSpec(t *testing.T) {
+	spec := WorkloadSpec{
+		SpecName: "custom", Warps: 4, ComputePerMem: 3, DepDist: 2,
+		AccessPattern: Gather, WorkingSetLines: 512, Shared: true,
+		LinesPerAccess: 2,
+	}
+	cfg := DefaultConfig()
+	cfg.Core.NumSMs = 2
+	cfg.L2.Partitions = 2
+	sys, err := NewSystem(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Measure(500, 2000)
+	if res.L1.Accesses == 0 {
+		t.Fatalf("custom workload generated no traffic")
+	}
+}
+
+func TestTableIRendered(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 13 {
+		t.Fatalf("Table I rows = %d", len(rows))
+	}
+}
+
+func TestParseScalingSetRoundTrip(t *testing.T) {
+	s, err := ParseScalingSet("l2+dram")
+	if err != nil || s != ScaleL2DRAM {
+		t.Fatalf("parse: %v %v", s, err)
+	}
+	if !strings.Contains(ScaleL2DRAM.String(), "L2") {
+		t.Fatalf("string: %v", ScaleL2DRAM)
+	}
+}
+
+func TestScalingAppliesThroughPublicAPI(t *testing.T) {
+	scaled := ScaleL2.Apply(DefaultConfig())
+	if scaled.L2.AccessQueue != 32 || scaled.Icnt.FlitSizeBytes != 16 {
+		t.Fatalf("scaling not applied: %+v", scaled.L2)
+	}
+}
+
+func TestRunLatencyToleranceSmall(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Core.NumSMs = 3
+	cfg.L2.Partitions = 2
+	wl, _ := WorkloadByName("sc")
+	curve, err := RunLatencyTolerance(cfg, wl, []int64{0, 600}, RunParams{WarmupCycles: 1000, WindowCycles: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 2 {
+		t.Fatalf("points: %+v", curve.Points)
+	}
+	if curve.Points[0].Normalized < curve.Points[1].Normalized {
+		t.Fatalf("latency 0 should not be slower than 600: %+v", curve.Points)
+	}
+}
+
+func TestTraceReplayEquivalence(t *testing.T) {
+	// A recorded trace replayed through the simulator must reproduce
+	// the generator run bit-identically for any window shorter than
+	// the recorded stream.
+	cfg := DefaultConfig()
+	cfg.Core.NumSMs = 3
+	cfg.L2.Partitions = 2
+	wl, err := WorkloadByName("nw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	const window = 2500
+	// No warp can issue more instructions than elapsed cycles, so
+	// recording window+warmup instructions per warp is sufficient.
+	if err := RecordTrace(wl, cfg.Core.NumSMs, 4000, cfg.Seed, uint64(cfg.L1.LineSize), &buf); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ParseTrace("nw-replay", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(w Workload) Results {
+		sys, err := NewSystem(cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Measure(1000, window)
+	}
+	orig := run(wl)
+	rep := run(replayed)
+	if orig != rep {
+		t.Fatalf("trace replay diverged from generator:\n orig %+v\n rep  %+v", orig, rep)
+	}
+}

@@ -1,0 +1,351 @@
+// Package cache implements the set-associative tag-array model shared
+// by the private L1 data caches and the shared L2 slices, together
+// with the MSHR (miss status holding register) table.
+//
+// The model is allocate-on-miss, like GPGPU-Sim: a miss *reserves* a
+// line in the target set before the fill returns. If every line in a
+// set is already reserved by outstanding misses, further misses to
+// that set fail with a reservation failure and the requesting pipeline
+// stalls — one of the cache-resource contention effects the paper's
+// §I implication ② describes.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand/v2"
+)
+
+// LineState is the lifecycle state of one cache line.
+type LineState uint8
+
+const (
+	// Invalid lines hold no tag.
+	Invalid LineState = iota
+	// Reserved lines were allocated by an outstanding miss and await
+	// their fill; they cannot be evicted.
+	Reserved
+	// Valid lines hold data.
+	Valid
+)
+
+// String implements fmt.Stringer.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "invalid"
+	case Reserved:
+		return "reserved"
+	case Valid:
+		return "valid"
+	default:
+		return fmt.Sprintf("LineState(%d)", uint8(s))
+	}
+}
+
+type line struct {
+	tag      uint64
+	state    LineState
+	dirty    bool
+	lastUse  int64 // LRU timestamp
+	fillTime int64 // FIFO timestamp (reservation time)
+}
+
+// Config parameterizes a cache instance.
+type Config struct {
+	Sets        int
+	Ways        int
+	LineSize    int
+	Replacement string // "lru", "fifo" or "random"
+	// WriteBack marks dirty lines on write hits and emits the victim
+	// on eviction (L2). When false the cache is write-through
+	// no-allocate (L1): write hits stay clean, write misses do not
+	// allocate.
+	WriteBack bool
+	// Seed drives the "random" replacement policy.
+	Seed uint64
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses         int64
+	Hits             int64
+	Misses           int64
+	HitsReserved     int64 // secondary accesses to an in-flight line
+	ReservationFails int64 // set had no evictable line
+	Evictions        int64
+	DirtyEvictions   int64
+}
+
+// HitRate returns hits / accesses, or 0 without accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// MissRate returns (misses + reserved hits) / accesses: accesses that
+// could not be served from valid data.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses+s.HitsReserved) / float64(s.Accesses)
+}
+
+// Cache is a set-associative tag array. It tracks tags and states only
+// (no data payloads — the simulator is timing-only).
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	setShift  uint
+	setMask   uint64
+	rng       *rand.Rand
+	stats     Stats
+	lineShift uint
+}
+
+// New builds a cache. Sets and LineSize must be powers of two.
+func New(cfg Config) *Cache {
+	if cfg.Sets <= 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic(fmt.Sprintf("cache: sets must be a power of two, got %d", cfg.Sets))
+	}
+	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache: line size must be a power of two, got %d", cfg.LineSize))
+	}
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache: ways must be positive, got %d", cfg.Ways))
+	}
+	switch cfg.Replacement {
+	case "lru", "fifo", "random":
+	default:
+		panic(fmt.Sprintf("cache: unknown replacement policy %q", cfg.Replacement))
+	}
+	sets := make([][]line, cfg.Sets)
+	backing := make([]line, cfg.Sets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		setShift:  uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		setMask:   uint64(cfg.Sets - 1),
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		rng:       rand.New(rand.NewPCG(cfg.Seed, 0xcac4e)),
+	}
+}
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// SetIndex returns the set an address maps to.
+func (c *Cache) SetIndex(addr uint64) int {
+	return int((addr >> c.setShift) & c.setMask)
+}
+
+func (c *Cache) tag(addr uint64) uint64 { return addr >> c.setShift }
+
+// AccessResult describes the outcome of a Lookup.
+type AccessResult uint8
+
+const (
+	// Hit means the line is Valid.
+	Hit AccessResult = iota
+	// HitReserved means the line is allocated but its fill is still
+	// outstanding: the access must merge into the MSHR entry.
+	HitReserved
+	// Miss means the line is absent.
+	Miss
+)
+
+// String implements fmt.Stringer.
+func (r AccessResult) String() string {
+	switch r {
+	case Hit:
+		return "hit"
+	case HitReserved:
+		return "hit-reserved"
+	case Miss:
+		return "miss"
+	default:
+		return fmt.Sprintf("AccessResult(%d)", uint8(r))
+	}
+}
+
+// Lookup probes the tag array and updates replacement and hit/miss
+// statistics. For write hits on a write-back cache the line is marked
+// dirty; write accesses on a write-through cache never dirty lines.
+func (c *Cache) Lookup(addr uint64, isWrite bool, now int64) AccessResult {
+	c.stats.Accesses++
+	set := c.sets[c.SetIndex(addr)]
+	tag := c.tag(addr)
+	for i := range set {
+		ln := &set[i]
+		if ln.state == Invalid || ln.tag != tag {
+			continue
+		}
+		if ln.state == Reserved {
+			c.stats.HitsReserved++
+			return HitReserved
+		}
+		ln.lastUse = now
+		if isWrite && c.cfg.WriteBack {
+			ln.dirty = true
+		}
+		c.stats.Hits++
+		return Hit
+	}
+	c.stats.Misses++
+	return Miss
+}
+
+// Victim describes a line evicted by Reserve.
+type Victim struct {
+	// Addr is the line address of the evicted line.
+	Addr uint64
+	// Dirty is true when the victim must be written back.
+	Dirty bool
+}
+
+// Reserve allocates a line for an outstanding miss, evicting a victim
+// chosen by the replacement policy if needed. It returns ok=false —
+// a reservation failure — when every way in the set is Reserved.
+// A dirty Valid victim is returned for write-back.
+func (c *Cache) Reserve(addr uint64, now int64) (v Victim, evicted, ok bool) {
+	setIdx := c.SetIndex(addr)
+	set := c.sets[setIdx]
+	tag := c.tag(addr)
+
+	// Prefer an Invalid way.
+	for i := range set {
+		if set[i].state == Invalid {
+			set[i] = line{tag: tag, state: Reserved, fillTime: now, lastUse: now}
+			return Victim{}, false, true
+		}
+	}
+	// Otherwise evict a Valid way.
+	victimIdx := -1
+	switch c.cfg.Replacement {
+	case "lru":
+		var oldest int64
+		for i := range set {
+			if set[i].state == Valid && (victimIdx == -1 || set[i].lastUse < oldest) {
+				victimIdx, oldest = i, set[i].lastUse
+			}
+		}
+	case "fifo":
+		var oldest int64
+		for i := range set {
+			if set[i].state == Valid && (victimIdx == -1 || set[i].fillTime < oldest) {
+				victimIdx, oldest = i, set[i].fillTime
+			}
+		}
+	case "random":
+		valid := make([]int, 0, len(set))
+		for i := range set {
+			if set[i].state == Valid {
+				valid = append(valid, i)
+			}
+		}
+		if len(valid) > 0 {
+			victimIdx = valid[c.rng.IntN(len(valid))]
+		}
+	}
+	if victimIdx == -1 {
+		// Every way is Reserved: reservation failure, caller stalls.
+		c.stats.ReservationFails++
+		return Victim{}, false, false
+	}
+	old := set[victimIdx]
+	c.stats.Evictions++
+	if old.dirty {
+		c.stats.DirtyEvictions++
+	}
+	set[victimIdx] = line{tag: tag, state: Reserved, fillTime: now, lastUse: now}
+	return Victim{Addr: old.tag << c.setShift, Dirty: old.dirty}, true, true
+}
+
+// Fill completes an outstanding miss, transitioning the reserved line
+// to Valid. makeDirty marks the line dirty immediately (write-allocate
+// store miss on a write-back cache). Filling a line that is not
+// Reserved is a simulator bug and panics.
+func (c *Cache) Fill(addr uint64, now int64, makeDirty bool) {
+	set := c.sets[c.SetIndex(addr)]
+	tag := c.tag(addr)
+	for i := range set {
+		if set[i].tag == tag && set[i].state == Reserved {
+			set[i].state = Valid
+			set[i].lastUse = now
+			set[i].fillTime = now
+			if makeDirty && c.cfg.WriteBack {
+				set[i].dirty = true
+			}
+			return
+		}
+	}
+	panic(fmt.Sprintf("cache: Fill(%#x) without matching reserved line", addr))
+}
+
+// State returns the state of the line holding addr, or Invalid.
+func (c *Cache) State(addr uint64) LineState {
+	set := c.sets[c.SetIndex(addr)]
+	tag := c.tag(addr)
+	for i := range set {
+		if set[i].state != Invalid && set[i].tag == tag {
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+// CountState returns how many lines across the cache are in state s;
+// used by tests and occupancy diagnostics.
+func (c *Cache) CountState(s LineState) int {
+	n := 0
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].state == s {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ResetStats zeroes the event counters for a new measurement window;
+// tag state is untouched.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Probe reports the state an access to addr would find, without
+// updating statistics, replacement metadata, or dirtiness. Pipeline
+// stages use it to test feasibility before committing an access;
+// blocked requests that retry every cycle must not inflate the
+// hit/miss counters.
+func (c *Cache) Probe(addr uint64) AccessResult {
+	set := c.sets[c.SetIndex(addr)]
+	tag := c.tag(addr)
+	for i := range set {
+		if set[i].state == Invalid || set[i].tag != tag {
+			continue
+		}
+		if set[i].state == Reserved {
+			return HitReserved
+		}
+		return Hit
+	}
+	return Miss
+}
+
+// CanReserve reports whether Reserve for addr would succeed: the set
+// has an Invalid way or an evictable Valid way.
+func (c *Cache) CanReserve(addr uint64) bool {
+	set := c.sets[c.SetIndex(addr)]
+	for i := range set {
+		if set[i].state != Reserved {
+			return true
+		}
+	}
+	return false
+}

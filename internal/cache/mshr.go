@@ -1,0 +1,144 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// MSHR is a miss status holding register table: one entry per
+// outstanding missed line, with a bounded list of merged requests per
+// entry. Exhaustion of entries or merge slots is a structural stall —
+// the paper's §I implication ② ("prolonged contention of cache
+// resources such as MSHRs ... serializes succeeding requests").
+type MSHR struct {
+	entries  map[uint64]*MSHREntry
+	maxEntry int
+	maxMerge int
+	stats    MSHRStats
+}
+
+// MSHREntry tracks one outstanding line miss and its merged requests.
+type MSHREntry struct {
+	LineAddr uint64
+	// Requests holds the primary miss and every merged secondary miss.
+	Requests []*mem.Request
+	// AllocCycle is when the entry was allocated, for latency stats.
+	AllocCycle int64
+}
+
+// MSHRStats counts MSHR events.
+type MSHRStats struct {
+	Allocs     int64 // primary misses that created an entry
+	Merges     int64 // secondary misses folded into an entry
+	FullStalls int64 // allocation failures: no free entry
+	MergeFails int64 // merge failures: entry merge list full
+	PeakUsed   int   // high-water mark of live entries
+}
+
+// AllocResult reports the outcome of an MSHR allocation attempt.
+type AllocResult uint8
+
+const (
+	// AllocNew created a fresh entry: the caller must send the miss
+	// downstream.
+	AllocNew AllocResult = iota
+	// AllocMerged merged into an existing entry: no downstream
+	// traffic needed.
+	AllocMerged
+	// AllocStallFull failed: no free entry. The caller must stall.
+	AllocStallFull
+	// AllocStallMerge failed: the entry's merge list is full.
+	AllocStallMerge
+)
+
+// String implements fmt.Stringer.
+func (r AllocResult) String() string {
+	switch r {
+	case AllocNew:
+		return "new"
+	case AllocMerged:
+		return "merged"
+	case AllocStallFull:
+		return "stall-full"
+	case AllocStallMerge:
+		return "stall-merge"
+	default:
+		return fmt.Sprintf("AllocResult(%d)", uint8(r))
+	}
+}
+
+// NewMSHR builds a table with maxEntry entries and maxMerge requests
+// per entry (the primary miss counts toward maxMerge).
+func NewMSHR(maxEntry, maxMerge int) *MSHR {
+	if maxEntry <= 0 || maxMerge <= 0 {
+		panic(fmt.Sprintf("mshr: sizes must be positive, got %d/%d", maxEntry, maxMerge))
+	}
+	return &MSHR{
+		entries:  make(map[uint64]*MSHREntry, maxEntry),
+		maxEntry: maxEntry,
+		maxMerge: maxMerge,
+	}
+}
+
+// Allocate records a miss on lineAddr for req.
+func (m *MSHR) Allocate(lineAddr uint64, req *mem.Request, now int64) AllocResult {
+	if e, ok := m.entries[lineAddr]; ok {
+		if len(e.Requests) >= m.maxMerge {
+			m.stats.MergeFails++
+			return AllocStallMerge
+		}
+		e.Requests = append(e.Requests, req)
+		m.stats.Merges++
+		return AllocMerged
+	}
+	if len(m.entries) >= m.maxEntry {
+		m.stats.FullStalls++
+		return AllocStallFull
+	}
+	m.entries[lineAddr] = &MSHREntry{
+		LineAddr:   lineAddr,
+		Requests:   []*mem.Request{req},
+		AllocCycle: now,
+	}
+	m.stats.Allocs++
+	if n := len(m.entries); n > m.stats.PeakUsed {
+		m.stats.PeakUsed = n
+	}
+	return AllocNew
+}
+
+// Lookup returns the entry for lineAddr, or nil.
+func (m *MSHR) Lookup(lineAddr uint64) *MSHREntry { return m.entries[lineAddr] }
+
+// Release completes the miss on lineAddr and returns all merged
+// requests for response generation. Releasing an absent line panics:
+// it indicates a response without a matching outstanding miss.
+func (m *MSHR) Release(lineAddr uint64) []*mem.Request {
+	e, ok := m.entries[lineAddr]
+	if !ok {
+		panic(fmt.Sprintf("mshr: Release(%#x) without entry", lineAddr))
+	}
+	delete(m.entries, lineAddr)
+	return e.Requests
+}
+
+// Used returns the number of live entries.
+func (m *MSHR) Used() int { return len(m.entries) }
+
+// Full reports whether no entry can be allocated.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.maxEntry }
+
+// Stats returns a copy of the event counters.
+func (m *MSHR) Stats() MSHRStats { return m.stats }
+
+// ResetStats zeroes the event counters for a new measurement window;
+// live entries are untouched and seed the new peak.
+func (m *MSHR) ResetStats() { m.stats = MSHRStats{PeakUsed: len(m.entries)} }
+
+// CanMerge reports whether a secondary miss on lineAddr could merge
+// into the existing entry without stalling.
+func (m *MSHR) CanMerge(lineAddr uint64) bool {
+	e, ok := m.entries[lineAddr]
+	return ok && len(e.Requests) < m.maxMerge
+}

@@ -1,0 +1,154 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func req(id uint64) *mem.Request {
+	return &mem.Request{ID: id, LineSize: 128}
+}
+
+func TestMSHRAllocateAndMerge(t *testing.T) {
+	m := NewMSHR(2, 3)
+	if r := m.Allocate(0x100, req(1), 0); r != AllocNew {
+		t.Fatalf("first alloc = %v", r)
+	}
+	if r := m.Allocate(0x100, req(2), 1); r != AllocMerged {
+		t.Fatalf("merge = %v", r)
+	}
+	if m.Used() != 1 {
+		t.Fatalf("used = %d, want 1", m.Used())
+	}
+	reqs := m.Release(0x100)
+	if len(reqs) != 2 || reqs[0].ID != 1 || reqs[1].ID != 2 {
+		t.Fatalf("released requests = %v", reqs)
+	}
+	if m.Used() != 0 {
+		t.Fatalf("entry not freed")
+	}
+}
+
+func TestMSHRFullStall(t *testing.T) {
+	m := NewMSHR(1, 8)
+	m.Allocate(0x100, req(1), 0)
+	if r := m.Allocate(0x200, req(2), 0); r != AllocStallFull {
+		t.Fatalf("alloc into full table = %v", r)
+	}
+	if !m.Full() {
+		t.Fatalf("Full() should be true")
+	}
+	if m.Stats().FullStalls != 1 {
+		t.Fatalf("full stall not counted: %+v", m.Stats())
+	}
+	m.Release(0x100)
+	if r := m.Allocate(0x200, req(3), 1); r != AllocNew {
+		t.Fatalf("alloc after release = %v", r)
+	}
+}
+
+func TestMSHRMergeStall(t *testing.T) {
+	m := NewMSHR(4, 2)
+	m.Allocate(0x100, req(1), 0)
+	m.Allocate(0x100, req(2), 0)
+	if r := m.Allocate(0x100, req(3), 0); r != AllocStallMerge {
+		t.Fatalf("merge into full entry = %v", r)
+	}
+	if m.Stats().MergeFails != 1 {
+		t.Fatalf("merge fail not counted")
+	}
+}
+
+func TestMSHRLookup(t *testing.T) {
+	m := NewMSHR(2, 2)
+	if m.Lookup(0x100) != nil {
+		t.Fatalf("lookup on empty table should be nil")
+	}
+	m.Allocate(0x100, req(1), 5)
+	e := m.Lookup(0x100)
+	if e == nil || e.LineAddr != 0x100 || e.AllocCycle != 5 {
+		t.Fatalf("lookup = %+v", e)
+	}
+}
+
+func TestMSHRReleaseWithoutEntryPanics(t *testing.T) {
+	m := NewMSHR(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	m.Release(0xdead)
+}
+
+func TestMSHRPeakUsed(t *testing.T) {
+	m := NewMSHR(4, 1)
+	m.Allocate(1, req(1), 0)
+	m.Allocate(2, req(2), 0)
+	m.Release(1)
+	m.Allocate(3, req(3), 0)
+	if m.Stats().PeakUsed != 2 {
+		t.Fatalf("peak = %d, want 2", m.Stats().PeakUsed)
+	}
+}
+
+func TestMSHRBadSizesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewMSHR(0, 4)
+}
+
+func TestAllocResultString(t *testing.T) {
+	for r, want := range map[AllocResult]string{
+		AllocNew: "new", AllocMerged: "merged",
+		AllocStallFull: "stall-full", AllocStallMerge: "stall-merge",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", r, r.String())
+		}
+	}
+	if !strings.Contains(AllocResult(77).String(), "77") {
+		t.Errorf("unknown result string")
+	}
+}
+
+// Property: used entries never exceed capacity, and every AllocNew is
+// balanced by exactly one Release returning >=1 requests.
+func TestMSHRProperty(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		m := NewMSHR(4, 2)
+		live := map[uint64]int{}
+		var id uint64
+		for _, op := range ops {
+			addr := uint64(op%6) * 128
+			if op%3 != 0 {
+				id++
+				switch m.Allocate(addr, req(id), 0) {
+				case AllocNew:
+					live[addr] = 1
+				case AllocMerged:
+					live[addr]++
+				}
+			} else if n, ok := live[addr]; ok {
+				got := m.Release(addr)
+				if len(got) != n {
+					return false
+				}
+				delete(live, addr)
+			}
+			if m.Used() > 4 || m.Used() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

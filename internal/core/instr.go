@@ -1,0 +1,79 @@
+// Package core models the SIMT cores (streaming multiprocessors): warp
+// scheduling, scoreboard-style load blocking, the memory coalescer,
+// the LDST unit with its bounded memory pipeline, and the private L1
+// data cache with MSHRs and miss queue.
+package core
+
+import "fmt"
+
+// InstrKind classifies warp instructions.
+type InstrKind uint8
+
+const (
+	// ALU is any non-memory instruction (arithmetic, control);
+	// it issues in one cycle and has no structural hazards here.
+	ALU InstrKind = iota
+	// Mem is a global-memory load or store.
+	Mem
+)
+
+// String implements fmt.Stringer.
+func (k InstrKind) String() string {
+	switch k {
+	case ALU:
+		return "alu"
+	case Mem:
+		return "mem"
+	default:
+		return fmt.Sprintf("InstrKind(%d)", uint8(k))
+	}
+}
+
+// Instr is one warp instruction.
+type Instr struct {
+	Kind InstrKind
+	// Store marks a memory instruction as a global store.
+	Store bool
+	// Lanes holds the per-thread byte addresses of a memory
+	// instruction (one entry per active lane); the coalescer reduces
+	// them to line transactions.
+	Lanes []uint64
+	// DepDist is, for loads, the number of subsequent instructions
+	// that are independent of the loaded value: the warp may run that
+	// far ahead before blocking. Larger values model more
+	// instruction-level latency tolerance.
+	DepDist int
+}
+
+// InstrStream produces a warp's dynamic instruction stream. Streams
+// are infinite; the simulator measures IPC over a fixed cycle window.
+type InstrStream interface {
+	Next() Instr
+}
+
+// Coalesce reduces per-lane addresses to the distinct cache lines they
+// touch, in first-appearance order — the memory coalescing unit. A
+// fully coalesced warp access yields one transaction; a scattered one
+// yields up to len(lanes).
+func Coalesce(lanes []uint64, lineSize uint64) []uint64 {
+	if len(lanes) == 0 {
+		return nil
+	}
+	mask := ^(lineSize - 1)
+	out := make([]uint64, 0, 4)
+	for _, a := range lanes {
+		line := a & mask
+		dup := false
+		// Linear scan: transaction counts are small (<= 32).
+		for _, seen := range out {
+			if seen == line {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, line)
+		}
+	}
+	return out
+}

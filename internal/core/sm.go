@@ -1,0 +1,469 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/queue"
+	"repro/internal/stats"
+)
+
+// maxPendingLoadsPerWarp bounds a warp's outstanding load instructions
+// (the scoreboard's register budget).
+const maxPendingLoadsPerWarp = 8
+
+// Backend is the SM's port to the memory system below the L1: the
+// request crossbar in baseline mode, or the infinite-bandwidth
+// fixed-latency responder in Fig. 1 mode.
+type Backend interface {
+	// SendMiss forwards an L1 miss or store downstream. A false
+	// return (no capacity) stalls the L1 miss path.
+	SendMiss(req *mem.Request) bool
+}
+
+// loadTracker follows one load instruction's outstanding transactions.
+type loadTracker struct {
+	remaining int   // transactions still in flight
+	blockIdx  int64 // first dependent instruction index
+}
+
+// warp is one resident warp's execution state.
+type warp struct {
+	id     int
+	stream InstrStream
+	cur    *Instr // fetched but unissued instruction
+	idx    int64  // dynamic instruction index
+	loads  []*loadTracker
+	issued int64
+}
+
+// fetch ensures w.cur holds the next instruction.
+func (w *warp) fetch() *Instr {
+	if w.cur == nil {
+		in := w.stream.Next()
+		w.cur = &in
+	}
+	return w.cur
+}
+
+// blocked reports whether the scoreboard forbids issuing the next
+// instruction: some outstanding load's first consumer is reached.
+func (w *warp) blocked() bool {
+	for _, lt := range w.loads {
+		if lt.remaining > 0 && w.idx >= lt.blockIdx {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneLoads drops completed trackers.
+func (w *warp) pruneLoads() {
+	kept := w.loads[:0]
+	for _, lt := range w.loads {
+		if lt.remaining > 0 {
+			kept = append(kept, lt)
+		}
+	}
+	w.loads = kept
+}
+
+// tx is one line transaction in the LDST pipeline.
+type tx struct {
+	req     *mem.Request
+	tracker *loadTracker // nil for stores
+}
+
+// memDrain is an issued memory instruction feeding its transactions
+// into the LDST queue, one per cycle.
+type memDrain struct {
+	w       *warp
+	lines   []uint64
+	next    int
+	store   bool
+	tracker *loadTracker
+}
+
+// hitDone is a scheduled L1-hit completion.
+type hitDone struct {
+	doneAt  int64
+	tracker *loadTracker
+}
+
+// Stats aggregates one SM's counters.
+type Stats struct {
+	Cycles         int64
+	Instructions   int64 // warp instructions issued
+	MemInstrs      int64
+	Transactions   int64 // coalesced line transactions
+	StallNoWarp    int64 // cycles with no issuable warp
+	StallLDSTFull  int64 // drain blocked: memory pipeline full
+	StallMSHR      int64 // L1 head blocked: MSHR full/merge full
+	StallMissQ     int64 // L1 head blocked: miss queue full
+	StallResFail   int64 // L1 head blocked: no evictable line
+	StallStoreQ    int64 // store blocked: miss queue full
+	FillsProcessed int64
+}
+
+// IPC returns warp instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	id  int
+	cfg config.Config
+
+	warps      []*warp
+	lastIssued int // scheduler state (GTO stickiness / LRR pointer)
+
+	l1      *cache.Cache
+	mshr    *cache.MSHR
+	ldstQ   *queue.Queue[tx]
+	missQ   *queue.Queue[*mem.Request]
+	respQ   *queue.Queue[*mem.Packet]
+	drain   *memDrain
+	hitPipe []hitDone
+
+	backend   Backend
+	nextID    *uint64
+	lineSize  uint64
+	stats     Stats
+	missLat   *stats.Sampler // L1 miss round-trip latency, core cycles
+	issuedSet []bool         // scratch: warps issued this cycle
+}
+
+// NewSM builds SM id with the given warp instruction streams. nextID
+// is the simulation-wide request id counter.
+func NewSM(id int, cfg config.Config, streams []InstrStream, backend Backend, nextID *uint64) *SM {
+	if len(streams) == 0 || len(streams) > cfg.Core.MaxWarpsPerSM {
+		panic(fmt.Sprintf("core: warp count %d out of range 1..%d", len(streams), cfg.Core.MaxWarpsPerSM))
+	}
+	warps := make([]*warp, len(streams))
+	for i, s := range streams {
+		warps[i] = &warp{id: i, stream: s}
+	}
+	return &SM{
+		id:    id,
+		cfg:   cfg,
+		warps: warps,
+		l1: cache.New(cache.Config{
+			Sets: cfg.L1.Sets, Ways: cfg.L1.Ways, LineSize: cfg.L1.LineSize,
+			Replacement: cfg.L1.Replacement, WriteBack: false,
+			Seed: cfg.Seed + uint64(id)*104729,
+		}),
+		mshr:      cache.NewMSHR(cfg.L1.MSHREntries, cfg.L1.MSHRMaxMerge),
+		ldstQ:     queue.New[tx](fmt.Sprintf("sm%d.ldst", id), cfg.Core.MemPipelineWidth),
+		missQ:     queue.New[*mem.Request](fmt.Sprintf("sm%d.miss", id), cfg.L1.MissQueue),
+		respQ:     queue.New[*mem.Packet](fmt.Sprintf("sm%d.resp", id), cfg.Core.ResponseQueue),
+		backend:   backend,
+		nextID:    nextID,
+		lineSize:  uint64(cfg.L1.LineSize),
+		missLat:   stats.NewSampler(8192, 128),
+		issuedSet: make([]bool, len(streams)),
+	}
+}
+
+// DeliverResponse accepts a fill response (the response crossbar's
+// sink and the fixed-latency backend's delivery port). A false return
+// back-pressures the network.
+func (s *SM) DeliverResponse(pkt *mem.Packet) bool { return s.respQ.Push(pkt) }
+
+// Stats returns a copy of the SM counters.
+func (s *SM) Stats() Stats { return s.stats }
+
+// CacheStats returns the L1D tag-array counters.
+func (s *SM) CacheStats() cache.Stats { return s.l1.Stats() }
+
+// MSHRStats returns the L1 MSHR counters.
+func (s *SM) MSHRStats() cache.MSHRStats { return s.mshr.Stats() }
+
+// MissLatency samples the L1-miss round trip (miss issue → fill).
+func (s *SM) MissLatency() *stats.Sampler { return s.missLat }
+
+// MissQueueUsage exposes the L1 miss-queue occupancy tracker.
+func (s *SM) MissQueueUsage() *stats.QueueUsage { return s.missQ.Usage() }
+
+// LDSTUsage exposes the memory-pipeline occupancy tracker.
+func (s *SM) LDSTUsage() *stats.QueueUsage { return s.ldstQ.Usage() }
+
+// Pending returns in-flight work items, for drain checks in tests.
+func (s *SM) Pending() int {
+	n := s.ldstQ.Len() + s.missQ.Len() + s.respQ.Len() + s.mshr.Used() + len(s.hitPipe)
+	if s.drain != nil {
+		n += len(s.drain.lines) - s.drain.next
+	}
+	return n
+}
+
+// Tick advances the SM by one core cycle.
+func (s *SM) Tick(cycle int64) {
+	s.stats.Cycles++
+	s.processResponses(cycle)
+	s.completeHits(cycle)
+	s.accessL1(cycle)
+	s.forwardMisses()
+	s.drainMemInstr()
+	s.issue(cycle)
+
+	s.ldstQ.Sample()
+	s.missQ.Sample()
+	s.respQ.Sample()
+}
+
+// processResponses applies one fill per cycle: the L1 fill port.
+func (s *SM) processResponses(cycle int64) {
+	pkt, ok := s.respQ.Peek()
+	if !ok || pkt.ReadyAt > cycle {
+		return
+	}
+	s.respQ.Pop()
+	line := pkt.Req.LineAddr()
+	s.l1.Fill(line, cycle, false)
+	for _, r := range s.mshr.Release(line) {
+		if lt, ok := r.Meta.(*loadTracker); ok && lt != nil {
+			lt.remaining--
+		}
+		s.missLat.Add(float64(cycle - r.IssueCycle))
+	}
+	s.stats.FillsProcessed++
+}
+
+// completeHits retires L1 hits whose latency elapsed.
+func (s *SM) completeHits(cycle int64) {
+	i := 0
+	for ; i < len(s.hitPipe); i++ {
+		if s.hitPipe[i].doneAt > cycle {
+			break
+		}
+		s.hitPipe[i].tracker.remaining--
+	}
+	s.hitPipe = s.hitPipe[i:]
+}
+
+// accessL1 services the LDST queue head against the L1: one access
+// per cycle. Structural failures leave the head in place (the
+// "reservation failure" stall of §I implication ②).
+func (s *SM) accessL1(cycle int64) {
+	t, ok := s.ldstQ.Peek()
+	if !ok {
+		return
+	}
+	line := t.req.LineAddr()
+
+	// Feasibility is tested with non-counting probes; the counting
+	// Lookup happens exactly once, when the access is consumed.
+	if t.tracker == nil { // store: write-through, no-allocate
+		if s.missQ.Full() {
+			s.stats.StallStoreQ++
+			return
+		}
+		s.l1.Lookup(line, true, cycle)
+		t.req.IssueCycle = cycle
+		s.missQ.Push(t.req)
+		s.ldstQ.Pop()
+		return
+	}
+
+	switch s.l1.Probe(line) {
+	case cache.Hit:
+		s.l1.Lookup(line, false, cycle)
+		s.hitPipe = append(s.hitPipe, hitDone{doneAt: cycle + s.cfg.L1.HitLatency, tracker: t.tracker})
+		s.ldstQ.Pop()
+	case cache.HitReserved:
+		if !s.mshr.CanMerge(line) {
+			s.stats.StallMSHR++
+			return
+		}
+		s.l1.Lookup(line, false, cycle)
+		if res := s.mshr.Allocate(line, t.req, cycle); res != cache.AllocMerged {
+			panic(fmt.Sprintf("core: expected L1 MSHR merge, got %v", res))
+		}
+		t.req.IssueCycle = cycle
+		s.ldstQ.Pop()
+	case cache.Miss:
+		if s.mshr.Full() {
+			s.stats.StallMSHR++
+			return
+		}
+		if s.missQ.Full() {
+			s.stats.StallMissQ++
+			return
+		}
+		if !s.l1.CanReserve(line) {
+			s.stats.StallResFail++
+			return
+		}
+		s.l1.Lookup(line, false, cycle)
+		if _, _, ok := s.l1.Reserve(line, cycle); !ok {
+			panic("core: CanReserve lied")
+		}
+		if res := s.mshr.Allocate(line, t.req, cycle); res != cache.AllocNew {
+			panic(fmt.Sprintf("core: expected fresh L1 MSHR entry, got %v", res))
+		}
+		t.req.IssueCycle = cycle
+		s.missQ.Push(t.req)
+		s.ldstQ.Pop()
+	}
+}
+
+// forwardMisses hands one miss-queue entry to the backend per cycle.
+func (s *SM) forwardMisses() {
+	req, ok := s.missQ.Peek()
+	if !ok {
+		return
+	}
+	if !s.backend.SendMiss(req) {
+		return // network back pressure
+	}
+	s.missQ.Pop()
+}
+
+// drainMemInstr feeds the active memory instruction's transactions
+// into the LDST queue, one per cycle.
+func (s *SM) drainMemInstr() {
+	d := s.drain
+	if d == nil {
+		return
+	}
+	if s.ldstQ.Full() {
+		s.stats.StallLDSTFull++
+		return
+	}
+	addr := d.lines[d.next]
+	*s.nextID++
+	req := &mem.Request{
+		ID: *s.nextID, Addr: addr, LineSize: s.lineSize,
+		CoreID: s.id, WarpID: d.w.id,
+	}
+	if d.store {
+		req.Kind = mem.Store
+	} else {
+		req.Kind = mem.Load
+		req.Meta = d.tracker
+	}
+	s.ldstQ.Push(tx{req: req, tracker: d.tracker})
+	s.stats.Transactions++
+	d.next++
+	if d.next == len(d.lines) {
+		s.drain = nil
+	}
+}
+
+// issue runs the warp scheduler: up to IssueWidth warps issue one
+// instruction each.
+func (s *SM) issue(cycle int64) {
+	for i := range s.issuedSet {
+		s.issuedSet[i] = false
+	}
+	issued := 0
+	for slot := 0; slot < s.cfg.Core.IssueWidth; slot++ {
+		w := s.pickWarp()
+		if w == nil {
+			break
+		}
+		s.issueOn(w, cycle)
+		s.issuedSet[w.id] = true
+		s.lastIssued = w.id
+		issued++
+	}
+	if issued == 0 {
+		s.stats.StallNoWarp++
+	}
+}
+
+// canIssue reports whether warp w may issue its next instruction now.
+func (s *SM) canIssue(w *warp) bool {
+	if s.issuedSet[w.id] || w.blocked() {
+		return false
+	}
+	in := w.fetch()
+	if in.Kind == Mem {
+		if s.drain != nil {
+			return false // single mem-issue register per SM
+		}
+		if !in.Store && len(w.loads) >= maxPendingLoadsPerWarp {
+			w.pruneLoads()
+			if len(w.loads) >= maxPendingLoadsPerWarp {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pickWarp selects the next warp per the configured policy.
+func (s *SM) pickWarp() *warp {
+	n := len(s.warps)
+	switch s.cfg.Core.Scheduler {
+	case "gto":
+		// Greedy: stick with the last-issued warp...
+		if w := s.warps[s.lastIssued]; s.canIssue(w) {
+			return w
+		}
+		// ...then oldest (lowest id) ready warp.
+		for i := 0; i < n; i++ {
+			if w := s.warps[i]; s.canIssue(w) {
+				return w
+			}
+		}
+	case "lrr":
+		for k := 1; k <= n; k++ {
+			if w := s.warps[(s.lastIssued+k)%n]; s.canIssue(w) {
+				return w
+			}
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown scheduler %q", s.cfg.Core.Scheduler))
+	}
+	return nil
+}
+
+// issueOn issues warp w's fetched instruction.
+func (s *SM) issueOn(w *warp, cycle int64) {
+	in := w.cur
+	w.cur = nil
+	w.idx++
+	w.issued++
+	s.stats.Instructions++
+	if in.Kind != Mem {
+		return
+	}
+	s.stats.MemInstrs++
+	lines := Coalesce(in.Lanes, s.lineSize)
+	if len(lines) == 0 {
+		return
+	}
+	d := &memDrain{w: w, lines: lines, store: in.Store}
+	if !in.Store {
+		dep := in.DepDist
+		if dep < 1 {
+			dep = 1
+		}
+		// The load was instruction w.idx-1; dep subsequent instructions
+		// are independent, so the first dependent one is at w.idx-1+dep+1.
+		lt := &loadTracker{remaining: len(lines), blockIdx: w.idx + int64(dep)}
+		w.loads = append(w.loads, lt)
+		d.tracker = lt
+	}
+	s.drain = d
+}
+
+// ResetStats zeroes every SM counter, queue tracker and the miss
+// latency sampler for a new measurement window. Architectural state
+// (warps, tags, MSHRs, queue contents) is untouched.
+func (s *SM) ResetStats() {
+	s.stats = Stats{}
+	s.l1.ResetStats()
+	s.mshr.ResetStats()
+	s.ldstQ.ResetUsage()
+	s.missQ.ResetUsage()
+	s.respQ.ResetUsage()
+	s.missLat.Reset()
+}

@@ -1,0 +1,78 @@
+// Package dram models one GDDR channel per memory partition: a
+// bounded scheduler queue, a bank set with row-buffer state and DDR
+// timing, an FR-FCFS or FCFS scheduler, and a data bus whose width is
+// the Table I(a) "bus width" parameter.
+package dram
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// AddrMap decodes line addresses to memory-partition and DRAM
+// coordinates. Consecutive lines interleave across partitions (as in
+// GPGPU-Sim's default 256B-granularity interleaving, here at line
+// granularity), and within a channel consecutive local lines fill a
+// row before moving to the next bank, giving streaming workloads row
+// locality.
+type AddrMap struct {
+	lineShift   uint
+	partitions  int
+	linesPerRow uint64
+	banks       uint64
+	xorHash     bool
+}
+
+// NewAddrMap builds a decoder with plain modulo bank interleaving.
+// lineSize and rowBytes must be powers of two with rowBytes >=
+// lineSize.
+func NewAddrMap(lineSize, partitions, rowBytes, banks int) AddrMap {
+	return NewHashedAddrMap(lineSize, partitions, rowBytes, banks, false)
+}
+
+// NewHashedAddrMap builds a decoder; with xorHash the bank index is
+// permuted by XOR-folding row bits (permutation-based interleaving),
+// which breaks up power-of-two stride patterns that camp on one bank.
+func NewHashedAddrMap(lineSize, partitions, rowBytes, banks int, xorHash bool) AddrMap {
+	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		panic(fmt.Sprintf("dram: line size must be a power of two: %d", lineSize))
+	}
+	if rowBytes < lineSize || rowBytes&(rowBytes-1) != 0 {
+		panic(fmt.Sprintf("dram: row bytes must be a power of two >= line size: %d", rowBytes))
+	}
+	if partitions <= 0 || banks <= 0 {
+		panic(fmt.Sprintf("dram: partitions/banks must be positive: %d/%d", partitions, banks))
+	}
+	return AddrMap{
+		lineShift:   uint(bits.TrailingZeros(uint(lineSize))),
+		partitions:  partitions,
+		linesPerRow: uint64(rowBytes / lineSize),
+		banks:       uint64(banks),
+		xorHash:     xorHash,
+	}
+}
+
+// Partition returns the memory partition an address maps to.
+func (m AddrMap) Partition(addr uint64) int {
+	return int((addr >> m.lineShift) % uint64(m.partitions))
+}
+
+// Coord is a channel-local DRAM coordinate.
+type Coord struct {
+	Bank int
+	Row  int64
+	Col  int
+}
+
+// Decode returns the channel-local coordinate of an address that maps
+// to this channel.
+func (m AddrMap) Decode(addr uint64) Coord {
+	local := (addr >> m.lineShift) / uint64(m.partitions)
+	col := local % m.linesPerRow
+	bank := (local / m.linesPerRow) % m.banks
+	row := local / (m.linesPerRow * m.banks)
+	if m.xorHash {
+		bank = (bank ^ (row % m.banks)) % m.banks
+	}
+	return Coord{Bank: int(bank), Row: int64(row), Col: int(col)}
+}

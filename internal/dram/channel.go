@@ -1,0 +1,333 @@
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/queue"
+	"repro/internal/stats"
+)
+
+// ReturnSink receives completed DRAM reads (the partition's DRAM
+// return queue, d2m). A false Accept stalls the channel's return
+// register and, transitively, new issue — DRAM-side back pressure.
+type ReturnSink interface {
+	Accept(req *mem.Request) bool
+}
+
+// Stats counts channel events.
+type Stats struct {
+	Reads         int64
+	Writes        int64
+	RowHits       int64
+	RowMisses     int64 // row closed: activate needed
+	RowConflicts  int64 // other row open: precharge + activate
+	BusBusyCycles int64
+	IssueStalls   int64 // cycles with pending work but nothing issuable
+	ReturnStalls  int64 // cycles the return register was blocked
+	Refreshes     int64 // refresh operations performed
+	ActThrottles  int64 // activates deferred by tRRD/tFAW
+}
+
+// RowHitRate returns row hits over all accesses.
+func (s Stats) RowHitRate() float64 {
+	total := s.RowHits + s.RowMisses + s.RowConflicts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+type bank struct {
+	openRow    int64 // -1 when closed
+	readyAt    int64 // next cycle the bank may start a new access
+	activateAt int64 // when the open row was activated (tRAS)
+}
+
+type inflight struct {
+	req        *mem.Request
+	completeAt int64
+}
+
+// Channel is one GDDR channel: scheduler queue, banks, data bus.
+type Channel struct {
+	cfg     config.DRAMConfig
+	addrMap AddrMap
+	schedQ  *queue.Queue[*mem.Request]
+	banks   []bank
+	// busFreeAt is the first cycle the shared data bus is free.
+	busFreeAt int64
+	// inflight holds issued accesses awaiting completion, ordered by
+	// completeAt (issue order preserves it: bus serialization).
+	inflight []inflight
+	// stuck holds a completed read the sink refused.
+	stuck *mem.Request
+	sink  ReturnSink
+	burst int64
+	// lastActivate and actWindow enforce tRRD and tFAW across banks.
+	lastActivate int64
+	actWindow    [4]int64 // times of the last four activates (ring)
+	actIdx       int
+	nextRefresh  int64
+	stats        Stats
+}
+
+// NewChannel builds a channel for one partition. lineSize is the L2
+// line size; partitions is the interleave factor of the address map.
+func NewChannel(id int, cfg config.DRAMConfig, lineSize, partitions int, sink ReturnSink) *Channel {
+	banks := make([]bank, cfg.BanksPerChip)
+	for i := range banks {
+		banks[i].openRow = -1
+	}
+	ch := &Channel{
+		cfg: cfg,
+		addrMap: NewHashedAddrMap(lineSize, partitions, cfg.RowBytes,
+			cfg.BanksPerChip, cfg.BankHash == "xor"),
+		schedQ:       queue.New[*mem.Request](fmt.Sprintf("dram%d.sched", id), cfg.SchedQueue),
+		banks:        banks,
+		sink:         sink,
+		burst:        cfg.BurstCycles(lineSize),
+		lastActivate: -1 << 20,
+		nextRefresh:  cfg.Timing.TREFI,
+	}
+	for i := range ch.actWindow {
+		ch.actWindow[i] = -1 << 20
+	}
+	return ch
+}
+
+// Push enqueues a request into the scheduler queue; false means full.
+func (c *Channel) Push(req *mem.Request) bool { return c.schedQ.Push(req) }
+
+// QueueFree returns free scheduler-queue slots.
+func (c *Channel) QueueFree() int { return c.schedQ.Free() }
+
+// SchedUsage exposes the scheduler queue's occupancy tracker (§III).
+func (c *Channel) SchedUsage() *stats.QueueUsage { return c.schedQ.Usage() }
+
+// Stats returns a copy of the event counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// Pending returns queued plus in-flight accesses, for drain checks.
+func (c *Channel) Pending() int {
+	n := c.schedQ.Len() + len(c.inflight)
+	if c.stuck != nil {
+		n++
+	}
+	return n
+}
+
+// Tick advances the channel by one DRAM cycle.
+func (c *Channel) Tick(cycle int64) {
+	c.refresh(cycle)
+	c.drainCompletions(cycle)
+	c.issue(cycle)
+	c.schedQ.Sample()
+}
+
+// refresh performs an all-bank refresh every tREFI cycles: rows close
+// and every bank is unavailable for tRFC.
+func (c *Channel) refresh(cycle int64) {
+	if cycle < c.nextRefresh {
+		return
+	}
+	c.nextRefresh = cycle + c.cfg.Timing.TREFI
+	c.stats.Refreshes++
+	for i := range c.banks {
+		b := &c.banks[i]
+		b.openRow = -1
+		if r := cycle + c.cfg.Timing.TRFC; r > b.readyAt {
+			b.readyAt = r
+		}
+	}
+}
+
+// canActivate enforces tRRD (activate-to-activate gap) and tFAW (at
+// most four activates per rolling window) across banks. actAt is the
+// cycle the ACT command would issue — for a row conflict that is
+// after the precharge completes, not the scheduling cycle.
+func (c *Channel) canActivate(actAt int64) bool {
+	if actAt < c.lastActivate+c.cfg.Timing.TRRD {
+		return false
+	}
+	return actAt >= c.actWindow[c.actIdx]+c.cfg.Timing.TFAW
+}
+
+// noteActivate records an activate for tRRD/tFAW accounting.
+func (c *Channel) noteActivate(cycle int64) {
+	c.lastActivate = cycle
+	c.actWindow[c.actIdx] = cycle
+	c.actIdx = (c.actIdx + 1) % len(c.actWindow)
+}
+
+// drainCompletions retires finished accesses and returns reads to the
+// sink, honoring its back pressure.
+func (c *Channel) drainCompletions(cycle int64) {
+	if c.stuck != nil {
+		if c.sink.Accept(c.stuck) {
+			c.stuck = nil
+		} else {
+			c.stats.ReturnStalls++
+			return
+		}
+	}
+	for len(c.inflight) > 0 && c.inflight[0].completeAt <= cycle {
+		fin := c.inflight[0]
+		if fin.req.Kind == mem.Load {
+			if !c.sink.Accept(fin.req) {
+				c.stuck = fin.req
+				c.inflight = c.inflight[1:]
+				c.stats.ReturnStalls++
+				return
+			}
+		}
+		c.inflight = c.inflight[1:]
+	}
+}
+
+// issue lets the scheduler start at most one access this cycle.
+func (c *Channel) issue(cycle int64) {
+	if c.schedQ.Empty() {
+		return
+	}
+	// Back pressure: when a completed read cannot drain, stop issuing
+	// so the scheduler queue (and upstream L2 miss queue) back up.
+	if c.stuck != nil {
+		c.stats.IssueStalls++
+		return
+	}
+	idx := -1
+	switch c.cfg.Scheduler {
+	case "frfcfs":
+		idx = c.pickFRFCFS(cycle)
+	case "fcfs":
+		if c.canIssue(c.schedQ.At(0), cycle) {
+			idx = 0
+		}
+	default:
+		panic(fmt.Sprintf("dram: unknown scheduler %q", c.cfg.Scheduler))
+	}
+	if idx < 0 {
+		c.stats.IssueStalls++
+		return
+	}
+	req := c.schedQ.Remove(idx)
+	c.start(req, cycle)
+}
+
+// pickFRFCFS scans the scheduler queue oldest-first, preferring row
+// hits; it falls back to the oldest issuable request.
+func (c *Channel) pickFRFCFS(cycle int64) int {
+	fallback := -1
+	for i := 0; i < c.schedQ.Len(); i++ {
+		req := c.schedQ.At(i)
+		if !c.canIssue(req, cycle) {
+			continue
+		}
+		co := c.addrMap.Decode(req.LineAddr())
+		if c.banks[co.Bank].openRow == co.Row {
+			return i // oldest row hit
+		}
+		if fallback == -1 {
+			fallback = i
+		}
+	}
+	return fallback
+}
+
+// canIssue reports whether req's bank and the data bus allow starting
+// the access at cycle.
+func (c *Channel) canIssue(req *mem.Request, cycle int64) bool {
+	co := c.addrMap.Decode(req.LineAddr())
+	b := &c.banks[co.Bank]
+	if b.readyAt > cycle {
+		return false
+	}
+	if b.openRow != co.Row {
+		// The access needs an ACTIVATE: honor tRRD/tFAW at the time
+		// the ACT would actually issue.
+		actAt := cycle
+		if b.openRow != -1 {
+			actAt += c.cfg.Timing.TRP // after the precharge
+		}
+		if !c.canActivate(actAt) {
+			c.stats.ActThrottles++
+			return false
+		}
+	}
+	if b.openRow != co.Row && b.openRow != -1 {
+		// Precharge requires tRAS elapsed since activate.
+		if b.activateAt+c.cfg.Timing.TRAS > cycle {
+			return false
+		}
+	}
+	// The bus must come free before the column access would use it;
+	// allowing a bounded pipeline depth of one access keeps the bus
+	// saturated without modeling per-beat contention.
+	return c.busFreeAt <= cycle+c.colLatency(b, co)
+}
+
+// colLatency returns cycles from issue to first data beat.
+func (c *Channel) colLatency(b *bank, co Coord) int64 {
+	t := c.cfg.Timing
+	switch {
+	case b.openRow == co.Row:
+		return t.CL
+	case b.openRow == -1:
+		return t.TRCD + t.CL
+	default:
+		return t.TRP + t.TRCD + t.CL
+	}
+}
+
+// start issues req, updating bank/bus state and the inflight list.
+func (c *Channel) start(req *mem.Request, cycle int64) {
+	co := c.addrMap.Decode(req.LineAddr())
+	b := &c.banks[co.Bank]
+	t := c.cfg.Timing
+
+	switch {
+	case b.openRow == co.Row:
+		c.stats.RowHits++
+	case b.openRow == -1:
+		c.stats.RowMisses++
+		b.activateAt = cycle
+		c.noteActivate(cycle)
+	default:
+		c.stats.RowConflicts++
+		b.activateAt = cycle + t.TRP
+		c.noteActivate(cycle + t.TRP)
+	}
+	col := c.colLatency(b, co)
+	b.openRow = co.Row
+
+	dataStart := cycle + col
+	if dataStart < c.busFreeAt {
+		dataStart = c.busFreeAt
+	}
+	dataEnd := dataStart + c.burst
+	c.busFreeAt = dataEnd
+	c.stats.BusBusyCycles += c.burst
+
+	bankReady := dataEnd
+	if req.Kind != mem.Load {
+		bankReady += t.TWR
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	if gap := cycle + t.TCCD; gap > bankReady {
+		bankReady = gap
+	}
+	b.readyAt = bankReady
+
+	c.inflight = append(c.inflight, inflight{req: req, completeAt: dataEnd})
+}
+
+// ResetStats zeroes the channel counters and the scheduler-queue
+// tracker for a new measurement window; timing state is untouched.
+func (c *Channel) ResetStats() {
+	c.stats = Stats{}
+	c.schedQ.ResetUsage()
+}

@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// DesignSpaceResult holds the §IV exploration: per-workload speedups
+// for each Table I scaling set, plus the suite averages the paper
+// reports (L1 +4%, L2 +59%, DRAM +11%, L1+L2 +69%, L2+DRAM +76%).
+type DesignSpaceResult struct {
+	Sets      []config.ScalingSet
+	Workloads []string
+	// BaselineIPC[w] is workload w's baseline IPC.
+	BaselineIPC []float64
+	// Speedup[w][s] is IPC(set s) / IPC(baseline) for workload w.
+	Speedup [][]float64
+	// MeanSpeedup[s] is the arithmetic-mean speedup of set s across
+	// workloads (the paper's "average speedup").
+	MeanSpeedup []float64
+}
+
+// RunDesignSpace evaluates each Table I scaling set over the suite.
+// ScaleNone must not be included in sets (the baseline is implicit).
+func RunDesignSpace(base config.Config, suite []workload.Workload, sets []config.ScalingSet, p RunParams) (DesignSpaceResult, error) {
+	res := DesignSpaceResult{Sets: sets}
+	per := make([][]float64, len(suite))
+	for wi, wl := range suite {
+		baseRes, err := Measure(base, wl, p)
+		if err != nil {
+			return DesignSpaceResult{}, err
+		}
+		res.Workloads = append(res.Workloads, wl.Name())
+		res.BaselineIPC = append(res.BaselineIPC, baseRes.IPC)
+		per[wi] = make([]float64, len(sets))
+		for si, set := range sets {
+			r, err := Measure(set.Apply(base), wl, p)
+			if err != nil {
+				return DesignSpaceResult{}, err
+			}
+			if baseRes.IPC > 0 {
+				per[wi][si] = r.IPC / baseRes.IPC
+			}
+		}
+	}
+	res.Speedup = per
+	res.MeanSpeedup = make([]float64, len(sets))
+	for si := range sets {
+		col := make([]float64, len(suite))
+		for wi := range suite {
+			col[wi] = per[wi][si]
+		}
+		res.MeanSpeedup[si] = stats.Mean(col)
+	}
+	return res, nil
+}
+
+// SpeedupFor returns the mean speedup of a given set, or 0 if the set
+// was not evaluated.
+func (r DesignSpaceResult) SpeedupFor(set config.ScalingSet) float64 {
+	for i, s := range r.Sets {
+		if s == set {
+			return r.MeanSpeedup[i]
+		}
+	}
+	return 0
+}
+
+// String renders the §IV table: one row per workload, one column per
+// scaling set, plus the average row the paper quotes.
+func (r DesignSpaceResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§IV — speedup over baseline when scaling Table I groups ~4×\n\n")
+	fmt.Fprintf(&b, "%-10s %9s", "bench", "base-IPC")
+	for _, s := range r.Sets {
+		fmt.Fprintf(&b, " %9s", s)
+	}
+	fmt.Fprintln(&b)
+	for wi, w := range r.Workloads {
+		fmt.Fprintf(&b, "%-10s %9.3f", w, r.BaselineIPC[wi])
+		for si := range r.Sets {
+			fmt.Fprintf(&b, " %8.2f×", r.Speedup[wi][si])
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "%-10s %9s", "average", "")
+	for si := range r.Sets {
+		fmt.Fprintf(&b, " %+8.0f%%", (r.MeanSpeedup[si]-1)*100)
+	}
+	fmt.Fprintf(&b, "\n(paper:  L1 +4%%, L2 +59%%, DRAM +11%%, L1+L2 +69%%, L2+DRAM +76%%)\n")
+	return b.String()
+}

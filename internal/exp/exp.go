@@ -1,0 +1,49 @@
+// Package exp contains the harnesses that regenerate every figure and
+// table of the paper: the Fig. 1 latency-tolerance sweep (with the §II
+// crossover analysis), the §III queue-occupancy characterization, and
+// the Table I / §IV design-space exploration.
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// RunParams sets the measurement methodology shared by all harnesses:
+// warm up the caches and queues, reset statistics, then measure a
+// fixed window (steady-state IPC, like GPGPU-Sim's periodic stats).
+type RunParams struct {
+	WarmupCycles int64
+	WindowCycles int64
+}
+
+// DefaultRunParams balances fidelity and runtime; the CLIs expose
+// flags to lengthen the runs.
+func DefaultRunParams() RunParams {
+	return RunParams{WarmupCycles: 6000, WindowCycles: 20000}
+}
+
+// Measure builds a GPU for (cfg, wl), runs warmup+window, and returns
+// the window's results.
+func Measure(cfg config.Config, wl workload.Workload, p RunParams) (sim.Results, error) {
+	g, err := sim.New(cfg, wl)
+	if err != nil {
+		return sim.Results{}, fmt.Errorf("exp: %w", err)
+	}
+	g.Run(p.WarmupCycles)
+	g.ResetStats()
+	g.Run(p.WindowCycles)
+	return g.Results(), nil
+}
+
+// MustMeasure is Measure for callers with pre-validated inputs.
+func MustMeasure(cfg config.Config, wl workload.Workload, p RunParams) sim.Results {
+	r, err := Measure(cfg, wl, p)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

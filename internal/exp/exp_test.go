@@ -1,0 +1,167 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// fastParams keeps harness tests quick.
+func fastParams() RunParams { return RunParams{WarmupCycles: 1500, WindowCycles: 4000} }
+
+// smallConfig shrinks the GPU for harness tests.
+func smallConfig() config.Config {
+	cfg := config.GTX480Baseline()
+	cfg.Core.NumSMs = 4
+	cfg.L2.Partitions = 2
+	return cfg
+}
+
+func congested() workload.Spec {
+	return workload.Spec{
+		SpecName: "hammer", Warps: 24, ComputePerMem: 3, DepDist: 1,
+		AccessPattern: workload.Thrash, WorkingSetLines: 1024,
+		Shared: true, LinesPerAccess: 1,
+	}
+}
+
+func TestMeasureProducesResults(t *testing.T) {
+	r, err := Measure(smallConfig(), congested(), fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles != 4000 || r.IPC <= 0 {
+		t.Fatalf("bad window: %+v", r)
+	}
+}
+
+func TestMeasureRejectsBadConfig(t *testing.T) {
+	cfg := smallConfig()
+	cfg.L1.Sets = 0
+	if _, err := Measure(cfg, congested(), fastParams()); err == nil {
+		t.Fatalf("expected error")
+	}
+}
+
+func TestFig1CurveShape(t *testing.T) {
+	lats := []int64{0, 200, 600, 1200}
+	c, err := RunFig1(smallConfig(), congested(), lats, fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Points) != 4 {
+		t.Fatalf("points = %d", len(c.Points))
+	}
+	// Monotone non-increasing normalized IPC.
+	for i := 1; i < len(c.Points); i++ {
+		if c.Points[i].Normalized > c.Points[i-1].Normalized*1.02 {
+			t.Fatalf("curve not decreasing: %+v", c.Points)
+		}
+	}
+	if c.PlateauSpeedup <= 1 {
+		t.Fatalf("congested workload should speed up at 0 latency: %v", c.PlateauSpeedup)
+	}
+	// The crossover should land near the measured baseline latency.
+	if c.CrossoverLatency <= 0 {
+		t.Fatalf("no crossover found")
+	}
+	ratio := c.CrossoverLatency / c.BaselineAvgMissLatency
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("crossover %v inconsistent with baseline latency %v",
+			c.CrossoverLatency, c.BaselineAvgMissLatency)
+	}
+}
+
+func TestCrossoverInterpolation(t *testing.T) {
+	pts := []LatencyPoint{
+		{Latency: 0, Normalized: 3},
+		{Latency: 100, Normalized: 2},
+		{Latency: 200, Normalized: 0.5},
+	}
+	got := crossover(pts)
+	// Between 100 (2.0) and 200 (0.5): crosses 1.0 at 100 + 100·(1/1.5).
+	want := 100 + 100*(1.0/1.5)
+	if got < want-1 || got > want+1 {
+		t.Fatalf("crossover = %v, want ≈%v", got, want)
+	}
+}
+
+func TestCrossoverEdgeCases(t *testing.T) {
+	if got := crossover(nil); got != 0 {
+		t.Fatalf("empty crossover = %v", got)
+	}
+	below := []LatencyPoint{{Latency: 50, Normalized: 0.8}}
+	if got := crossover(below); got != 50 {
+		t.Fatalf("all-below crossover = %v", got)
+	}
+	above := []LatencyPoint{{Latency: 0, Normalized: 3}, {Latency: 100, Normalized: 2}}
+	if got := crossover(above); got != 100 {
+		t.Fatalf("all-above crossover = %v", got)
+	}
+}
+
+func TestDefaultLatenciesMatchFigure(t *testing.T) {
+	lats := DefaultLatencies()
+	if len(lats) != 17 || lats[0] != 0 || lats[16] != 800 || lats[1] != 50 {
+		t.Fatalf("x-axis wrong: %v", lats)
+	}
+}
+
+func TestOccupancyReport(t *testing.T) {
+	suite := []workload.Workload{congested()}
+	rep, err := RunOccupancy(smallConfig(), suite, fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	row := rep.Rows[0]
+	if row.L2AccessFull < 0 || row.L2AccessFull > 1 || row.DRAMSchedFull < 0 || row.DRAMSchedFull > 1 {
+		t.Fatalf("occupancies out of range: %+v", row)
+	}
+	if rep.MeanL2AccessFull != row.L2AccessFull {
+		t.Fatalf("mean != single row")
+	}
+	if !strings.Contains(rep.String(), "hammer") {
+		t.Fatalf("report missing workload name")
+	}
+}
+
+func TestDesignSpaceSpeedups(t *testing.T) {
+	suite := []workload.Workload{congested()}
+	sets := []config.ScalingSet{config.ScaleL2}
+	res, err := RunDesignSpace(smallConfig(), suite, sets, fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Speedup) != 1 || len(res.Speedup[0]) != 1 {
+		t.Fatalf("shape wrong: %+v", res.Speedup)
+	}
+	sp := res.SpeedupFor(config.ScaleL2)
+	if sp <= 1.1 {
+		t.Fatalf("L2 scaling speedup = %v for a hierarchy-bound workload", sp)
+	}
+	if res.SpeedupFor(config.ScaleDRAM) != 0 {
+		t.Fatalf("unevaluated set should report 0")
+	}
+	if !strings.Contains(res.String(), "hammer") {
+		t.Fatalf("report missing workload")
+	}
+}
+
+func TestFig1SuiteAndReportRendering(t *testing.T) {
+	suite := []workload.Workload{congested()}
+	rep, err := RunFig1Suite(smallConfig(), suite, []int64{0, 400}, fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, frag := range []string{"latency", "hammer", "crossover"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, out)
+		}
+	}
+}

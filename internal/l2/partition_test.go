@@ -1,0 +1,256 @@
+package l2
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/mem"
+)
+
+// fakeInjector collects response packets; it can refuse pushes.
+type fakeInjector struct {
+	got    []*mem.Packet
+	refuse bool
+}
+
+func (f *fakeInjector) Push(src int, pkt *mem.Packet) bool {
+	if f.refuse {
+		return false
+	}
+	f.got = append(f.got, pkt)
+	return true
+}
+
+func partCfg() config.Config {
+	cfg := config.GTX480Baseline()
+	cfg.L2.Partitions = 1
+	return cfg
+}
+
+// tickBoth advances the partition and its DRAM channel in lockstep
+// (test-only; the real simulator honors the clock ratio).
+func tickBoth(p *Partition, from, to int64) {
+	for c := from; c < to; c++ {
+		p.Channel().Tick(c)
+		p.Tick(c)
+	}
+}
+
+func loadPkt(id uint64, addr uint64, core int) *mem.Packet {
+	req := &mem.Request{ID: id, Addr: addr, LineSize: 128, Kind: mem.Load, CoreID: core}
+	return &mem.Packet{Req: req, Src: core, SizeBytes: mem.RequestPacketBytes(req)}
+}
+
+func storePkt(id uint64, addr uint64) *mem.Packet {
+	req := &mem.Request{ID: id, Addr: addr, LineSize: 128, Kind: mem.Store, CoreID: 0}
+	return &mem.Packet{Req: req, SizeBytes: mem.RequestPacketBytes(req)}
+}
+
+func TestMissFetchesFromDRAMAndResponds(t *testing.T) {
+	inj := &fakeInjector{}
+	var id uint64
+	p := New(0, partCfg(), inj, &id)
+	if !p.Accept(loadPkt(1, 0x1000, 3)) {
+		t.Fatalf("accept failed")
+	}
+	tickBoth(p, 0, 400)
+	if len(inj.got) != 1 {
+		t.Fatalf("responses = %d, want 1", len(inj.got))
+	}
+	r := inj.got[0]
+	if !r.IsResponse || r.Dst != 3 || r.Req.ID != 1 {
+		t.Fatalf("bad response: %+v", r)
+	}
+	st := p.Stats()
+	if st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", p.Pending())
+	}
+}
+
+func TestSecondAccessHits(t *testing.T) {
+	inj := &fakeInjector{}
+	var id uint64
+	p := New(0, partCfg(), inj, &id)
+	p.Accept(loadPkt(1, 0x1000, 0))
+	tickBoth(p, 0, 400)
+	p.Accept(loadPkt(2, 0x1000, 0))
+	tickBoth(p, 400, 500)
+	if len(inj.got) != 2 {
+		t.Fatalf("responses = %d", len(inj.got))
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The hit must be much faster than the miss: compare service
+	// latencies indirectly via DRAM traffic.
+	if p.Channel().Stats().Reads != 1 {
+		t.Fatalf("hit went to DRAM")
+	}
+}
+
+func TestConcurrentMissesMerge(t *testing.T) {
+	inj := &fakeInjector{}
+	var id uint64
+	p := New(0, partCfg(), inj, &id)
+	p.Accept(loadPkt(1, 0x1000, 0))
+	p.Accept(loadPkt(2, 0x1000, 1))
+	tickBoth(p, 0, 400)
+	if len(inj.got) != 2 {
+		t.Fatalf("merged miss must answer both requesters: %d", len(inj.got))
+	}
+	if p.Stats().MSHRMerges != 1 {
+		t.Fatalf("merge not counted: %+v", p.Stats())
+	}
+	if p.Channel().Stats().Reads != 1 {
+		t.Fatalf("merged miss fetched twice")
+	}
+}
+
+func TestStoreMissAllocatesAndDirties(t *testing.T) {
+	inj := &fakeInjector{}
+	var id uint64
+	cfg := partCfg()
+	p := New(0, cfg, inj, &id)
+	p.Accept(storePkt(1, 0x2000))
+	tickBoth(p, 0, 400)
+	if len(inj.got) != 0 {
+		t.Fatalf("stores must not generate responses")
+	}
+	if p.CacheStats().Misses != 1 {
+		t.Fatalf("store miss not recorded: %+v", p.CacheStats())
+	}
+	// Evict the dirtied line: a writeback must reach DRAM. The L2 of
+	// one partition has 128 sets × 8 ways; lines 0x2000 + k·sets·128
+	// alias into the same set.
+	setStride := uint64(cfg.L2.Sets * cfg.L2.LineSize)
+	for k := 1; k <= cfg.L2.Ways+1; k++ {
+		p.Accept(loadPkt(uint64(10+k), 0x2000+uint64(k)*setStride, 0))
+		tickBoth(p, int64(400+k*400), int64(400+(k+1)*400))
+	}
+	if p.Stats().Writebacks == 0 {
+		t.Fatalf("dirty eviction produced no writeback")
+	}
+	if p.Channel().Stats().Writes == 0 {
+		t.Fatalf("writeback never reached DRAM")
+	}
+}
+
+func TestStoreHitDirtiesInPlace(t *testing.T) {
+	inj := &fakeInjector{}
+	var id uint64
+	p := New(0, partCfg(), inj, &id)
+	p.Accept(loadPkt(1, 0x3000, 0))
+	tickBoth(p, 0, 400)
+	p.Accept(storePkt(2, 0x3000))
+	tickBoth(p, 400, 500)
+	st := p.Stats()
+	if st.Misses != 1 || st.Hits != 1 { // cold load miss, then store hit
+		t.Fatalf("stats: %+v", st)
+	}
+	if got := p.Channel().Stats().Reads; got != 1 {
+		t.Fatalf("store hit should not refetch: %d reads", got)
+	}
+}
+
+func TestResponsePathBackPressureThrottles(t *testing.T) {
+	inj := &fakeInjector{refuse: true}
+	var id uint64
+	p := New(0, partCfg(), inj, &id)
+	// Warm a line so subsequent accesses are hits.
+	p.Accept(loadPkt(1, 0x1000, 0))
+	tickBoth(p, 0, 400)
+	inj.got = nil
+	// Hammer hits with the injector refusing: respQ and hitPipe fill,
+	// then the access queue backs up.
+	for i := 0; i < 30; i++ {
+		p.Accept(loadPkt(uint64(100+i), 0x1000, 0))
+		tickBoth(p, int64(400+i*3), int64(400+(i+1)*3))
+	}
+	tickBoth(p, 490, 600)
+	if len(inj.got) != 0 {
+		t.Fatalf("refusing injector received packets")
+	}
+	if p.Stats().StallRespQ == 0 {
+		t.Fatalf("response back pressure never stalled the L2")
+	}
+	if p.AccessUsage().FullCycles() == 0 {
+		t.Fatalf("access queue never filled under back pressure")
+	}
+	// Release: everything drains.
+	inj.refuse = false
+	tickBoth(p, 600, 1200)
+	if len(inj.got) == 0 {
+		t.Fatalf("no drain after release")
+	}
+}
+
+func TestAccessQueueBounded(t *testing.T) {
+	inj := &fakeInjector{}
+	var id uint64
+	cfg := partCfg()
+	p := New(0, cfg, inj, &id)
+	ok := 0
+	for i := 0; i < cfg.L2.AccessQueue+4; i++ {
+		if p.Accept(loadPkt(uint64(i), uint64(i)*128, 0)) {
+			ok++
+		}
+	}
+	if ok != cfg.L2.AccessQueue {
+		t.Fatalf("accepted %d, queue depth is %d", ok, cfg.L2.AccessQueue)
+	}
+}
+
+func TestWireLatencyRespected(t *testing.T) {
+	inj := &fakeInjector{}
+	var id uint64
+	p := New(0, partCfg(), inj, &id)
+	pkt := loadPkt(1, 0x1000, 0)
+	pkt.ReadyAt = 50 // still on the wire until cycle 50
+	p.Accept(pkt)
+	tickBoth(p, 0, 50)
+	if p.Stats().Accesses != 0 {
+		t.Fatalf("request consumed before its wire latency elapsed")
+	}
+	tickBoth(p, 50, 60)
+	if p.Stats().Accesses != 1 {
+		t.Fatalf("request not consumed after ReadyAt")
+	}
+}
+
+func TestServiceLatencySampled(t *testing.T) {
+	inj := &fakeInjector{}
+	var id uint64
+	p := New(0, partCfg(), inj, &id)
+	p.Accept(loadPkt(1, 0x1000, 0))
+	tickBoth(p, 0, 400)
+	p.Accept(loadPkt(2, 0x1000, 0))
+	tickBoth(p, 400, 500)
+	if p.ServiceLatency().Count() == 0 {
+		t.Fatalf("hit service latency not sampled")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	inj := &fakeInjector{}
+	var id uint64
+	p := New(0, partCfg(), inj, &id)
+	p.Accept(loadPkt(1, 0x1000, 0))
+	tickBoth(p, 0, 400)
+	p.ResetStats()
+	if p.Stats().Misses != 0 || p.CacheStats().Accesses != 0 {
+		t.Fatalf("reset incomplete: %+v %+v", p.Stats(), p.CacheStats())
+	}
+	if p.AccessUsage().SampledCycles() != 0 {
+		t.Fatalf("queue tracker not reset")
+	}
+	// Architectural state survives: the line is still cached.
+	p.Accept(loadPkt(2, 0x1000, 0))
+	tickBoth(p, 400, 500)
+	if p.Stats().Hits != 1 {
+		t.Fatalf("cached line lost across reset: %+v", p.Stats())
+	}
+}

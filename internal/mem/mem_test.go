@@ -1,0 +1,78 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLineAddrAligns(t *testing.T) {
+	r := &Request{Addr: 0x12345, LineSize: 128}
+	got := r.LineAddr()
+	if got%128 != 0 {
+		t.Fatalf("LineAddr %#x not 128-aligned", got)
+	}
+	if got > r.Addr || r.Addr-got >= 128 {
+		t.Fatalf("LineAddr %#x does not contain %#x", got, r.Addr)
+	}
+}
+
+func TestLineAddrIdentityWhenAligned(t *testing.T) {
+	r := &Request{Addr: 0x8000, LineSize: 128}
+	if r.LineAddr() != 0x8000 {
+		t.Fatalf("aligned address changed: %#x", r.LineAddr())
+	}
+}
+
+func TestLineAddrProperty(t *testing.T) {
+	prop := func(addr uint64, sizeExp uint8) bool {
+		ls := uint64(1) << (sizeExp%6 + 5) // 32..1024
+		r := &Request{Addr: addr, LineSize: ls}
+		la := r.LineAddr()
+		return la%ls == 0 && la <= addr && addr-la < ls
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessKindString(t *testing.T) {
+	cases := map[AccessKind]string{Load: "load", Store: "store", Writeback: "writeback"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if !strings.Contains(AccessKind(99).String(), "99") {
+		t.Errorf("unknown kind should include numeric value, got %q", AccessKind(99).String())
+	}
+}
+
+func TestPacketSizes(t *testing.T) {
+	load := &Request{Kind: Load, LineSize: 128}
+	store := &Request{Kind: Store, LineSize: 128}
+	wb := &Request{Kind: Writeback, LineSize: 128}
+
+	if got := RequestPacketBytes(load); got != ControlBytes {
+		t.Errorf("load request size = %d, want header-only %d", got, ControlBytes)
+	}
+	if got := RequestPacketBytes(store); got != ControlBytes+128 {
+		t.Errorf("store request size = %d, want %d", got, ControlBytes+128)
+	}
+	if got := RequestPacketBytes(wb); got != ControlBytes+128 {
+		t.Errorf("writeback request size = %d, want %d", got, ControlBytes+128)
+	}
+	if got := ResponsePacketBytes(load); got != ControlBytes+128 {
+		t.Errorf("response size = %d, want %d", got, ControlBytes+128)
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	r := &Request{ID: 7, Kind: Store, Addr: 0x80, CoreID: 3, WarpID: 9, PartitionID: 2, LineSize: 128}
+	s := r.String()
+	for _, frag := range []string{"id=7", "store", "0x80", "core=3", "warp=9", "part=2"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package queue implements the bounded FIFO queues that connect every
+// stage of the memory hierarchy. All back pressure in the simulator
+// flows through these queues: a full queue refuses Push and the
+// upstream stage stalls, exactly the congestion-propagation mechanism
+// the paper characterizes.
+package queue
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Queue is a bounded FIFO with occupancy accounting. It is implemented
+// as a ring buffer; the zero value is not usable — construct with New.
+type Queue[T any] struct {
+	name  string
+	buf   []T
+	head  int
+	size  int
+	usage *stats.QueueUsage
+}
+
+// New returns a queue with the given capacity. Capacity must be
+// positive.
+func New[T any](name string, capacity int) *Queue[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queue: capacity must be positive, got %d (%s)", capacity, name))
+	}
+	return &Queue[T]{
+		name:  name,
+		buf:   make([]T, capacity),
+		usage: stats.NewQueueUsage(name, capacity),
+	}
+}
+
+// Name returns the queue's diagnostic name.
+func (q *Queue[T]) Name() string { return q.name }
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return q.size }
+
+// Empty reports whether the queue holds no items.
+func (q *Queue[T]) Empty() bool { return q.size == 0 }
+
+// Full reports whether the queue is at capacity.
+func (q *Queue[T]) Full() bool { return q.size == len(q.buf) }
+
+// Free returns the number of unoccupied slots.
+func (q *Queue[T]) Free() int { return len(q.buf) - q.size }
+
+// Push appends v and reports whether there was room. A false return is
+// the back-pressure signal to the caller.
+func (q *Queue[T]) Push(v T) bool {
+	if q.Full() {
+		return false
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+	return true
+}
+
+// Pop removes and returns the oldest item. ok is false when empty.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	if q.size == 0 {
+		return v, false
+	}
+	v = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return v, true
+}
+
+// Peek returns the oldest item without removing it. ok is false when
+// empty.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if q.size == 0 {
+		return v, false
+	}
+	return q.buf[q.head], true
+}
+
+// At returns the i-th oldest item (0 = head). It panics when i is out
+// of range; schedulers that scan the queue (FR-FCFS) use it with Len.
+func (q *Queue[T]) At(i int) T {
+	if i < 0 || i >= q.size {
+		panic(fmt.Sprintf("queue %s: At(%d) out of range (len %d)", q.name, i, q.size))
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
+// Remove deletes and returns the i-th oldest item, preserving the
+// order of the rest. It panics when i is out of range. FR-FCFS uses
+// this to issue row hits from the middle of the scheduler queue.
+func (q *Queue[T]) Remove(i int) T {
+	if i < 0 || i >= q.size {
+		panic(fmt.Sprintf("queue %s: Remove(%d) out of range (len %d)", q.name, i, q.size))
+	}
+	v := q.buf[(q.head+i)%len(q.buf)]
+	// Shift the tail segment left by one.
+	for j := i; j < q.size-1; j++ {
+		q.buf[(q.head+j)%len(q.buf)] = q.buf[(q.head+j+1)%len(q.buf)]
+	}
+	var zero T
+	q.buf[(q.head+q.size-1)%len(q.buf)] = zero
+	q.size--
+	return v
+}
+
+// Sample records this cycle's occupancy in the usage tracker. The
+// owning component calls it exactly once per cycle of its clock domain.
+func (q *Queue[T]) Sample() { q.usage.Sample(q.size) }
+
+// Usage returns the occupancy tracker for reporting.
+func (q *Queue[T]) Usage() *stats.QueueUsage { return q.usage }
+
+// ResetUsage zeroes the occupancy tracker for a new measurement
+// window; queued items are untouched.
+func (q *Queue[T]) ResetUsage() { q.usage.Reset() }

@@ -1,0 +1,200 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopFIFO(t *testing.T) {
+	q := New[int]("t", 3)
+	for i := 1; i <= 3; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.Push(4) {
+		t.Fatalf("push into full queue succeeded")
+	}
+	for i := 1; i <= 3; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatalf("pop from empty queue succeeded")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	q := New[int]("t", 2)
+	for round := 0; round < 5; round++ {
+		q.Push(round * 2)
+		q.Push(round*2 + 1)
+		a, _ := q.Pop()
+		b, _ := q.Pop()
+		if a != round*2 || b != round*2+1 {
+			t.Fatalf("round %d: got %d,%d", round, a, b)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	q := New[string]("t", 2)
+	q.Push("a")
+	v, ok := q.Peek()
+	if !ok || v != "a" {
+		t.Fatalf("peek = %q,%v", v, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("peek removed item")
+	}
+	if _, ok := New[int]("e", 1).Peek(); ok {
+		t.Fatalf("peek on empty should fail")
+	}
+}
+
+func TestAtAndRemove(t *testing.T) {
+	q := New[int]("t", 4)
+	for i := 0; i < 4; i++ {
+		q.Push(i)
+	}
+	if q.At(2) != 2 {
+		t.Fatalf("At(2) = %d", q.At(2))
+	}
+	got := q.Remove(1)
+	if got != 1 {
+		t.Fatalf("Remove(1) = %d", got)
+	}
+	want := []int{0, 2, 3}
+	for i, w := range want {
+		if q.At(i) != w {
+			t.Fatalf("after remove At(%d) = %d, want %d", i, q.At(i), w)
+		}
+	}
+	// Removal must free a slot.
+	if !q.Push(9) {
+		t.Fatalf("push after remove failed")
+	}
+	if q.At(3) != 9 {
+		t.Fatalf("new tail = %d", q.At(3))
+	}
+}
+
+func TestRemoveHeadEqualsPop(t *testing.T) {
+	q := New[int]("t", 3)
+	q.Push(7)
+	q.Push(8)
+	if v := q.Remove(0); v != 7 {
+		t.Fatalf("Remove(0) = %d", v)
+	}
+	v, _ := q.Pop()
+	if v != 8 {
+		t.Fatalf("pop after remove = %d", v)
+	}
+}
+
+func TestRemoveWrapped(t *testing.T) {
+	q := New[int]("t", 3)
+	q.Push(1)
+	q.Push(2)
+	q.Pop() // head now at index 1
+	q.Push(3)
+	q.Push(4) // buffer wrapped
+	if v := q.Remove(1); v != 3 {
+		t.Fatalf("Remove(1) wrapped = %d", v)
+	}
+	a, _ := q.Pop()
+	b, _ := q.Pop()
+	if a != 2 || b != 4 {
+		t.Fatalf("after wrapped remove: %d,%d", a, b)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	q := New[int]("t", 2)
+	q.Push(1)
+	for _, f := range []func(){func() { q.At(1) }, func() { q.Remove(-1) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for zero capacity")
+		}
+	}()
+	New[int]("bad", 0)
+}
+
+func TestUsageSampling(t *testing.T) {
+	q := New[int]("t", 2)
+	q.Sample() // empty
+	q.Push(1)
+	q.Sample() // non-empty
+	q.Push(2)
+	q.Sample() // full
+	u := q.Usage()
+	if u.SampledCycles() != 3 || u.UsageCycles() != 2 || u.FullCycles() != 1 {
+		t.Fatalf("usage: sampled=%d usage=%d full=%d", u.SampledCycles(), u.UsageCycles(), u.FullCycles())
+	}
+}
+
+// Property: a queue behaves identically to a reference slice FIFO for
+// any sequence of operations.
+func TestQueueMatchesReference(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		q := New[int]("p", 5)
+		var ref []int
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push
+				ok := q.Push(next)
+				refOK := len(ref) < 5
+				if ok != refOK {
+					return false
+				}
+				if ok {
+					ref = append(ref, next)
+				}
+				next++
+			case 1: // pop
+				v, ok := q.Pop()
+				if ok != (len(ref) > 0) {
+					return false
+				}
+				if ok {
+					if v != ref[0] {
+						return false
+					}
+					ref = ref[1:]
+				}
+			case 2: // remove middle
+				if len(ref) > 1 {
+					i := 1
+					v := q.Remove(i)
+					if v != ref[i] {
+						return false
+					}
+					ref = append(ref[:i], ref[i+1:]...)
+				}
+			}
+			if q.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

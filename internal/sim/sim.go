@@ -1,0 +1,231 @@
+// Package sim assembles the full GPU — SIMT cores, request/response
+// crossbars, L2 memory partitions and DRAM channels — and drives the
+// four clock domains. It also provides the Fig. 1 apparatus: a
+// fixed-latency, infinite-bandwidth memory backend that replaces the
+// hierarchy below the L1.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/icnt"
+	"repro/internal/l2"
+	"repro/internal/mem"
+	"repro/internal/workload"
+)
+
+// GPU is one simulated system instance.
+type GPU struct {
+	cfg config.Config
+
+	sms   []*core.SM
+	parts []*l2.Partition
+	reqX  *icnt.Crossbar
+	respX *icnt.Crossbar
+	fixed *fixedBackend // non-nil in Fig. 1 mode
+
+	addrMap dram.AddrMap
+	nextID  uint64
+
+	coreCycle int64
+	icntCycle int64
+	l2Cycle   int64
+	dramCycle int64
+	// Clock-domain phase accumulators (units of MHz·cycles).
+	icntAcc, l2Acc, dramAcc int
+}
+
+// New builds a GPU running wl under cfg. The config is validated and
+// the workload's warp demand checked against the SM limit.
+func New(cfg config.Config, wl workload.Workload) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if wl.WarpsPerSM() > cfg.Core.MaxWarpsPerSM {
+		return nil, fmt.Errorf("sim: workload %s wants %d warps/SM, config allows %d",
+			wl.Name(), wl.WarpsPerSM(), cfg.Core.MaxWarpsPerSM)
+	}
+	g := &GPU{
+		cfg: cfg,
+		addrMap: dram.NewAddrMap(cfg.L2.LineSize, cfg.L2.Partitions,
+			cfg.DRAM.RowBytes, cfg.DRAM.BanksPerChip),
+	}
+
+	if cfg.FixedLatency.Enabled {
+		g.fixed = &fixedBackend{latency: cfg.FixedLatency.Cycles, gpu: g}
+	} else {
+		g.respX = icnt.New(icnt.Config{
+			Inputs: cfg.L2.Partitions, Outputs: cfg.Core.NumSMs,
+			FlitBytes: cfg.Icnt.FlitSizeBytes, Lanes: cfg.Icnt.LanesPerPort,
+			InputBuffer: cfg.Icnt.InputBuffer,
+			WireLatency: cfg.Icnt.WireLatency, Name: "resp",
+		}, respSink{g})
+		g.parts = make([]*l2.Partition, cfg.L2.Partitions)
+		for i := range g.parts {
+			g.parts[i] = l2.New(i, cfg, g.respX, &g.nextID)
+		}
+		g.reqX = icnt.New(icnt.Config{
+			Inputs: cfg.Core.NumSMs, Outputs: cfg.L2.Partitions,
+			FlitBytes: cfg.Icnt.FlitSizeBytes, Lanes: cfg.Icnt.LanesPerPort,
+			InputBuffer: cfg.Icnt.InputBuffer,
+			WireLatency: cfg.Icnt.WireLatency, Name: "req",
+		}, reqSink{g})
+	}
+
+	g.sms = make([]*core.SM, cfg.Core.NumSMs)
+	for i := range g.sms {
+		streams := make([]core.InstrStream, wl.WarpsPerSM())
+		for w := range streams {
+			streams[w] = wl.Stream(i, w, cfg.Seed, uint64(cfg.L1.LineSize))
+		}
+		var backend core.Backend
+		if g.fixed != nil {
+			backend = g.fixed
+		} else {
+			backend = realBackend{g, i}
+		}
+		g.sms[i] = core.NewSM(i, cfg, streams, backend, &g.nextID)
+	}
+	return g, nil
+}
+
+// reqSink delivers request packets into L2 access queues.
+type reqSink struct{ g *GPU }
+
+func (s reqSink) Accept(dst int, pkt *mem.Packet) bool { return s.g.parts[dst].Accept(pkt) }
+
+// respSink delivers response packets into SM response queues.
+type respSink struct{ g *GPU }
+
+func (s respSink) Accept(dst int, pkt *mem.Packet) bool { return s.g.sms[dst].DeliverResponse(pkt) }
+
+// realBackend routes L1 misses into the request crossbar.
+type realBackend struct {
+	g  *GPU
+	sm int
+}
+
+// SendMiss implements core.Backend.
+func (b realBackend) SendMiss(req *mem.Request) bool {
+	part := b.g.addrMap.Partition(req.LineAddr())
+	req.PartitionID = part
+	pkt := &mem.Packet{
+		Req: req, Src: b.sm, Dst: part,
+		SizeBytes: mem.RequestPacketBytes(req),
+	}
+	return b.g.reqX.Push(b.sm, pkt)
+}
+
+// fixedBackend answers every L1 load miss after exactly latency core
+// cycles with unlimited bandwidth; stores vanish instantly. This is
+// the Fig. 1 "all L1 miss responses returned with a fixed and
+// pre-determined latency" apparatus.
+type fixedBackend struct {
+	latency int64
+	gpu     *GPU
+	// pending is a per-SM FIFO of scheduled deliveries (constant
+	// latency keeps each FIFO sorted by ReadyAt).
+	pending [][]*mem.Packet
+}
+
+// SendMiss implements core.Backend; it never back-pressures.
+func (b *fixedBackend) SendMiss(req *mem.Request) bool {
+	if req.Kind != mem.Load {
+		return true
+	}
+	if b.pending == nil {
+		b.pending = make([][]*mem.Packet, len(b.gpu.sms))
+	}
+	pkt := &mem.Packet{
+		Req: req, IsResponse: true, Dst: req.CoreID,
+		SizeBytes: mem.ResponsePacketBytes(req),
+		ReadyAt:   b.gpu.coreCycle + b.latency,
+	}
+	b.pending[req.CoreID] = append(b.pending[req.CoreID], pkt)
+	return true
+}
+
+// tick delivers every due response (unlimited bandwidth); a full SM
+// response queue retries next cycle.
+func (b *fixedBackend) tick(cycle int64) {
+	for smID := range b.pending {
+		q := b.pending[smID]
+		for len(q) > 0 && q[0].ReadyAt <= cycle {
+			if !b.gpu.sms[smID].DeliverResponse(q[0]) {
+				break
+			}
+			q = q[1:]
+		}
+		b.pending[smID] = q
+	}
+}
+
+// Step advances the system by one core clock cycle, ticking the other
+// domains in rational proportion (e.g. DRAM at 924 MHz vs core at
+// 700 MHz). Downstream domains tick first so back pressure resolves
+// before new work enters.
+func (g *GPU) Step() {
+	c := g.cfg.Clock
+	if g.fixed == nil {
+		for g.dramAcc += c.DRAMMHz; g.dramAcc >= c.CoreMHz; g.dramAcc -= c.CoreMHz {
+			for _, p := range g.parts {
+				p.Channel().Tick(g.dramCycle)
+			}
+			g.dramCycle++
+		}
+		for g.l2Acc += c.L2MHz; g.l2Acc >= c.CoreMHz; g.l2Acc -= c.CoreMHz {
+			for _, p := range g.parts {
+				p.Tick(g.l2Cycle)
+			}
+			g.l2Cycle++
+		}
+		for g.icntAcc += c.IcntMHz; g.icntAcc >= c.CoreMHz; g.icntAcc -= c.CoreMHz {
+			g.respX.Tick(g.icntCycle)
+			g.reqX.Tick(g.icntCycle)
+			g.icntCycle++
+		}
+	} else {
+		g.fixed.tick(g.coreCycle)
+	}
+	for _, sm := range g.sms {
+		sm.Tick(g.coreCycle)
+	}
+	g.coreCycle++
+}
+
+// Run advances the system by n core cycles.
+func (g *GPU) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		g.Step()
+	}
+}
+
+// Cycle returns the current core cycle.
+func (g *GPU) Cycle() int64 { return g.coreCycle }
+
+// SMs exposes the cores (read-only use).
+func (g *GPU) SMs() []*core.SM { return g.sms }
+
+// Partitions exposes the memory partitions; empty in Fig. 1 mode.
+func (g *GPU) Partitions() []*l2.Partition { return g.parts }
+
+// ResetStats zeroes every statistic in the system, marking the start
+// of a measurement window (architectural state is untouched). Call it
+// after a warm-up run.
+func (g *GPU) ResetStats() {
+	for _, sm := range g.sms {
+		sm.ResetStats()
+	}
+	for _, p := range g.parts {
+		p.ResetStats()
+	}
+	if g.reqX != nil {
+		g.reqX.ResetStats()
+	}
+	if g.respX != nil {
+		g.respX.ResetStats()
+	}
+}

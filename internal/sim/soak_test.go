@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// finiteWorkload wraps a workload so every warp issues exactly n
+// instructions and then pure ALU forever — after the burst, all
+// memory traffic must drain completely if the system is deadlock-free.
+type finiteWorkload struct {
+	inner workload.Workload
+	n     int
+}
+
+func (f finiteWorkload) Name() string    { return f.inner.Name() + "-finite" }
+func (f finiteWorkload) WarpsPerSM() int { return f.inner.WarpsPerSM() }
+
+func (f finiteWorkload) Stream(sm, warp int, seed uint64, lineSize uint64) core.InstrStream {
+	return &finiteStream{inner: f.inner.Stream(sm, warp, seed, lineSize), left: f.n}
+}
+
+type finiteStream struct {
+	inner core.InstrStream
+	left  int
+}
+
+func (s *finiteStream) Next() core.Instr {
+	if s.left <= 0 {
+		return core.Instr{Kind: core.ALU}
+	}
+	s.left--
+	return s.inner.Next()
+}
+
+// TestNoDeadlockUnderSaturation is the soak test: drive every
+// benchmark hard enough to saturate all queues, stop the memory
+// traffic, and require the entire hierarchy to drain. A lost request
+// or a back-pressure cycle would leave Pending() non-zero forever.
+func TestNoDeadlockUnderSaturation(t *testing.T) {
+	cfg := config.GTX480Baseline()
+	cfg.Core.NumSMs = 6
+	cfg.L2.Partitions = 3
+	for _, name := range workload.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			wl, err := workload.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := New(cfg, finiteWorkload{inner: wl, n: 400})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Saturate, then allow a generous drain period.
+			g.Run(60000)
+			pending := 0
+			for _, sm := range g.SMs() {
+				pending += sm.Pending()
+			}
+			for _, p := range g.Partitions() {
+				pending += p.Pending()
+			}
+			if pending != 0 {
+				t.Fatalf("%d items stuck in the hierarchy after drain", pending)
+			}
+			// And the work actually happened.
+			if g.Results().Instructions == 0 {
+				t.Fatalf("no instructions executed")
+			}
+		})
+	}
+}
+
+// TestNoDeadlockTinyQueues shrinks every bounded structure to its
+// minimum, maximizing back-pressure interactions, and still requires
+// a full drain.
+func TestNoDeadlockTinyQueues(t *testing.T) {
+	cfg := config.GTX480Baseline()
+	cfg.Core.NumSMs = 4
+	cfg.L2.Partitions = 2
+	cfg.L1.MissQueue = 1
+	cfg.L1.MSHREntries = 2
+	cfg.L1.MSHRMaxMerge = 1
+	cfg.Core.MemPipelineWidth = 1
+	cfg.Core.ResponseQueue = 1
+	cfg.Icnt.InputBuffer = 1
+	cfg.L2.AccessQueue = 1
+	cfg.L2.MissQueue = 2 // must hold a fetch plus a writeback
+	cfg.L2.ResponseQueue = 1
+	cfg.L2.DRAMReturnQueue = 1
+	cfg.L2.MSHREntries = 2
+	cfg.L2.MSHRMaxMerge = 1
+	cfg.DRAM.SchedQueue = 1
+
+	wl := workload.Spec{
+		SpecName: "tiny-q", Warps: 8, ComputePerMem: 1, DepDist: 1,
+		StoreFrac: 0.3, AccessPattern: workload.Gather,
+		WorkingSetLines: 256, Shared: true, LinesPerAccess: 2,
+	}
+	g, err := New(cfg, finiteWorkload{inner: wl, n: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(120000)
+	pending := 0
+	for _, sm := range g.SMs() {
+		pending += sm.Pending()
+	}
+	for _, p := range g.Partitions() {
+		pending += p.Pending()
+	}
+	if pending != 0 {
+		t.Fatalf("%d items stuck with minimum queues", pending)
+	}
+}

@@ -1,0 +1,196 @@
+// Package trace records workload instruction streams to a compact
+// text format and replays them as workloads. Traces make synthetic
+// kernels inspectable (what addresses does cfd actually touch?) and
+// let experiments rerun bit-identical instruction streams without the
+// generator.
+//
+// Format, one instruction per line, per-warp sections:
+//
+//	W <sm> <warp>
+//	A                 # ALU instruction
+//	L <dep> <line...> # load: dependency distance, hex line addresses
+//	S <line...>       # store: hex line addresses
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Record writes n instructions of every warp stream of wl for the
+// given number of SMs to w.
+func Record(wl workload.Workload, sms int, n int, seed uint64, lineSize uint64, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for sm := 0; sm < sms; sm++ {
+		for warp := 0; warp < wl.WarpsPerSM(); warp++ {
+			if _, err := fmt.Fprintf(bw, "W %d %d\n", sm, warp); err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+			s := wl.Stream(sm, warp, seed, lineSize)
+			for i := 0; i < n; i++ {
+				if err := writeInstr(bw, s.Next(), lineSize); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+func writeInstr(w io.Writer, in core.Instr, lineSize uint64) error {
+	var err error
+	switch {
+	case in.Kind != core.Mem:
+		_, err = fmt.Fprintln(w, "A")
+	case in.Store:
+		_, err = fmt.Fprintf(w, "S%s\n", hexLines(in.Lanes, lineSize))
+	default:
+		_, err = fmt.Fprintf(w, "L %d%s\n", in.DepDist, hexLines(in.Lanes, lineSize))
+	}
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+func hexLines(lanes []uint64, lineSize uint64) string {
+	var b strings.Builder
+	for _, l := range core.Coalesce(lanes, lineSize) {
+		fmt.Fprintf(&b, " %x", l)
+	}
+	return b.String()
+}
+
+// Trace is a parsed trace, replayable as a workload.
+type Trace struct {
+	name  string
+	warps int // warps per SM
+	// instrs[sm][warp] is that warp's recorded stream.
+	instrs map[int]map[int][]core.Instr
+}
+
+// Parse reads the Record format.
+func Parse(name string, r io.Reader) (*Trace, error) {
+	t := &Trace{name: name, instrs: map[int]map[int][]core.Instr{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur []core.Instr
+	curSM, curWarp := -1, -1
+	flush := func() {
+		if curSM < 0 {
+			return
+		}
+		if t.instrs[curSM] == nil {
+			t.instrs[curSM] = map[int][]core.Instr{}
+		}
+		t.instrs[curSM][curWarp] = cur
+		if curWarp+1 > t.warps {
+			t.warps = curWarp + 1
+		}
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "W":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d: malformed warp header", lineNo)
+			}
+			flush()
+			sm, err1 := strconv.Atoi(fields[1])
+			warp, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || sm < 0 || warp < 0 {
+				return nil, fmt.Errorf("trace: line %d: bad warp ids", lineNo)
+			}
+			curSM, curWarp, cur = sm, warp, nil
+		case "A":
+			cur = append(cur, core.Instr{Kind: core.ALU})
+		case "L":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("trace: line %d: load needs dep and addresses", lineNo)
+			}
+			dep, err := strconv.Atoi(fields[1])
+			if err != nil || dep < 1 {
+				return nil, fmt.Errorf("trace: line %d: bad dep distance", lineNo)
+			}
+			lanes, err := parseLines(fields[2:])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			cur = append(cur, core.Instr{Kind: core.Mem, Lanes: lanes, DepDist: dep})
+		case "S":
+			lanes, err := parseLines(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			cur = append(cur, core.Instr{Kind: core.Mem, Store: true, Lanes: lanes, DepDist: 1})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	flush()
+	if len(t.instrs) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	return t, nil
+}
+
+func parseLines(fields []string) ([]uint64, error) {
+	lanes := make([]uint64, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.ParseUint(f, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad address %q", f)
+		}
+		lanes = append(lanes, v)
+	}
+	return lanes, nil
+}
+
+// Name implements workload.Workload.
+func (t *Trace) Name() string { return t.name }
+
+// WarpsPerSM implements workload.Workload.
+func (t *Trace) WarpsPerSM() int { return t.warps }
+
+// Stream implements workload.Workload: it replays the recorded
+// instructions and pads with ALU once exhausted. SMs beyond the
+// recorded range reuse SM 0's streams.
+func (t *Trace) Stream(sm, warp int, _ uint64, _ uint64) core.InstrStream {
+	per, ok := t.instrs[sm]
+	if !ok {
+		per = t.instrs[0]
+	}
+	return &replay{instrs: per[warp]}
+}
+
+type replay struct {
+	instrs []core.Instr
+	pos    int
+}
+
+// Next implements core.InstrStream.
+func (r *replay) Next() core.Instr {
+	if r.pos < len(r.instrs) {
+		in := r.instrs[r.pos]
+		r.pos++
+		return in
+	}
+	return core.Instr{Kind: core.ALU}
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func sampleSpec() workload.Spec {
+	return workload.Spec{
+		SpecName: "sample", Warps: 2, ComputePerMem: 2, DepDist: 2,
+		StoreFrac: 0.3, AccessPattern: workload.Gather,
+		WorkingSetLines: 64, Shared: true, LinesPerAccess: 2,
+	}
+}
+
+func TestRecordParseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Record(sampleSpec(), 2, 50, 7, 128, &buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Parse("sample", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "sample" || tr.WarpsPerSM() != 2 {
+		t.Fatalf("metadata: %s %d", tr.Name(), tr.WarpsPerSM())
+	}
+	// The replay must match a fresh generator instruction-for-
+	// instruction at line granularity.
+	fresh := sampleSpec().Stream(1, 1, 7, 128)
+	rep := tr.Stream(1, 1, 0, 0)
+	for i := 0; i < 50; i++ {
+		want, got := fresh.Next(), rep.Next()
+		if want.Kind != got.Kind || want.Store != got.Store {
+			t.Fatalf("instr %d: kind/store mismatch", i)
+		}
+		if want.Kind != core.Mem {
+			continue
+		}
+		wl := core.Coalesce(want.Lanes, 128)
+		gl := core.Coalesce(got.Lanes, 128)
+		if len(wl) != len(gl) {
+			t.Fatalf("instr %d: %d vs %d lines", i, len(wl), len(gl))
+		}
+		for j := range wl {
+			if wl[j] != gl[j] {
+				t.Fatalf("instr %d line %d: %#x vs %#x", i, j, wl[j], gl[j])
+			}
+		}
+	}
+}
+
+func TestReplayPadsWithALU(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Record(sampleSpec(), 1, 5, 7, 128, &buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Parse("sample", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stream(0, 0, 0, 0)
+	for i := 0; i < 5; i++ {
+		s.Next()
+	}
+	if in := s.Next(); in.Kind != core.ALU {
+		t.Fatalf("exhausted trace should pad with ALU, got %v", in.Kind)
+	}
+}
+
+func TestReplayUnknownSMFallsBack(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Record(sampleSpec(), 1, 5, 7, 128, &buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := Parse("sample", &buf)
+	s := tr.Stream(9, 0, 0, 0) // SM 9 not recorded: reuse SM 0
+	if s == nil {
+		t.Fatalf("no stream for unrecorded SM")
+	}
+	s.Next()
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"bad header":    "W 1\nA\n",
+		"bad warp id":   "W a 0\nA\n",
+		"bad record":    "W 0 0\nX\n",
+		"load no addr":  "W 0 0\nL 2\n",
+		"bad dep":       "W 0 0\nL zero 80\n",
+		"bad addr":      "W 0 0\nL 2 nothex\n",
+		"bad store":     "W 0 0\nS nothex\n",
+		"negative warp": "W 0 -1\nA\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse("t", strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestParseAcceptsBlankLines(t *testing.T) {
+	in := "W 0 0\n\nA\nL 2 80\n\nS 100\n"
+	tr, err := Parse("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stream(0, 0, 0, 0)
+	kinds := []core.InstrKind{core.ALU, core.Mem, core.Mem}
+	for i, want := range kinds {
+		if got := s.Next(); got.Kind != want {
+			t.Fatalf("instr %d: kind %v want %v", i, got.Kind, want)
+		}
+	}
+}

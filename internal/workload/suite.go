@@ -1,0 +1,64 @@
+package workload
+
+// The eight benchmark models below stand in for the paper's suite.
+// Parameter choices encode each program's published memory behaviour
+// (memory intensity, locality, coalescing, store ratio, occupancy);
+// EXPERIMENTS.md records how the resulting curves compare with Fig. 1.
+func init() {
+	register(Spec{
+		SpecName:    "cfd",
+		Description: "Rodinia CFD solver: irregular neighbor gathers over a multi-MB unstructured grid",
+		Warps:       36, ComputePerMem: 13, DepDist: 2, StoreFrac: 0.15,
+		AccessPattern: Gather, WorkingSetLines: 24576, Shared: true,
+		LinesPerAccess: 2, HitFrac: 0.55,
+	})
+	register(Spec{
+		SpecName:    "dwt2d",
+		Description: "Rodinia 2D discrete wavelet transform: strided column walks with L2-resident tiles",
+		Warps:       32, ComputePerMem: 9, DepDist: 2, StoreFrac: 0.12,
+		AccessPattern: Strided, WorkingSetLines: 4096, Shared: true,
+		LinesPerAccess: 2, StrideLines: 33, HitFrac: 0.55,
+	})
+	register(Spec{
+		SpecName:    "leukocyte",
+		Description: "Rodinia leukocyte tracking: stencil windows with high L1 temporal reuse",
+		Warps:       24, ComputePerMem: 5, DepDist: 3, StoreFrac: 0.05,
+		AccessPattern: Stencil, WorkingSetLines: 2048, Shared: false,
+		LinesPerAccess: 2, HitFrac: 0.25,
+	})
+	register(Spec{
+		SpecName:    "nn",
+		Description: "Rodinia nearest neighbor: streaming record scan re-reading the query point",
+		Warps:       32, ComputePerMem: 18, DepDist: 2, StoreFrac: 0.02,
+		AccessPattern: Streaming, WorkingSetLines: 1 << 20, Shared: false,
+		LinesPerAccess: 1, HitFrac: 0.40,
+	})
+	register(Spec{
+		SpecName:    "nw",
+		Description: "Rodinia Needleman-Wunsch: diagonal wavefront, few active warps, dependent loads",
+		Warps:       14, ComputePerMem: 8, DepDist: 2, StoreFrac: 0.20,
+		AccessPattern: Strided, WorkingSetLines: 8192, Shared: true,
+		LinesPerAccess: 2, StrideLines: 65, HitFrac: 0.45,
+	})
+	register(Spec{
+		SpecName:    "sc",
+		Description: "Rodinia streamcluster: repeated scans of an L2-resident set that thrashes the L1",
+		Warps:       44, ComputePerMem: 14, DepDist: 1, StoreFrac: 0.04,
+		AccessPattern: Thrash, WorkingSetLines: 3072, Shared: true,
+		LinesPerAccess: 1, HitFrac: 0.05,
+	})
+	register(Spec{
+		SpecName:    "lbm",
+		Description: "Parboil Lattice-Boltzmann: streaming stencil update, store-heavy, DRAM-bandwidth bound",
+		Warps:       40, ComputePerMem: 12, DepDist: 3, StoreFrac: 0.30,
+		AccessPattern: Streaming, WorkingSetLines: 1 << 20, Shared: false,
+		LinesPerAccess: 1, HitFrac: 0.05,
+	})
+	register(Spec{
+		SpecName:    "ss",
+		Description: "Mars MapReduce similarity score: gathered matrix rows with moderate reuse",
+		Warps:       32, ComputePerMem: 10, DepDist: 2, StoreFrac: 0.25,
+		AccessPattern: Gather, WorkingSetLines: 8192, Shared: true,
+		LinesPerAccess: 2, HitFrac: 0.55,
+	})
+}

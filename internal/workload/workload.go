@@ -1,0 +1,331 @@
+// Package workload provides synthetic models of the paper's benchmark
+// suite. The original experiments run CUDA programs (Rodinia's cfd,
+// dwt2d, leukocyte, nn, nw, sc; Parboil's lbm; Mars' ss) through
+// GPGPU-Sim; here each benchmark is a parameterized kernel model that
+// reproduces the properties Fig. 1 and §III-IV depend on: memory
+// intensity (compute per load), locality (L1/L2 reuse), coalescing
+// degree, store ratio, and memory-level parallelism. DESIGN.md §4
+// documents the substitution.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Pattern selects the address-stream shape of a kernel model.
+type Pattern string
+
+const (
+	// Streaming walks a huge region once: no temporal reuse (nn, lbm).
+	Streaming Pattern = "streaming"
+	// Strided walks a region with a fixed line stride, as in
+	// column-major 2D traversals (dwt2d, nw).
+	Strided Pattern = "strided"
+	// Stencil slides a small window: high L1 temporal reuse
+	// (leukocyte).
+	Stencil Pattern = "stencil"
+	// Gather reads pseudo-random lines of a shared region:
+	// data-dependent neighbor lists (cfd, ss).
+	Gather Pattern = "gather"
+	// Thrash repeatedly scans a shared region larger than L1 but
+	// resident in L2: maximal L1↔L2 traffic (sc/streamcluster).
+	Thrash Pattern = "thrash"
+)
+
+// Workload supplies instruction streams to every warp in the GPU.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// WarpsPerSM is the number of resident warps each SM runs.
+	WarpsPerSM() int
+	// Stream builds the (deterministic) instruction stream for one
+	// warp. lineSize is the cache-line size addresses should target.
+	Stream(sm, warp int, seed uint64, lineSize uint64) core.InstrStream
+}
+
+// Spec is a declarative kernel model; it implements Workload.
+type Spec struct {
+	// SpecName identifies the workload.
+	SpecName string
+	// Description is a one-line summary for reports.
+	Description string
+	// Warps is the resident warp count per SM.
+	Warps int
+	// ComputePerMem is the mean number of ALU instructions between
+	// memory instructions (memory intensity knob; lower = more
+	// memory-bound).
+	ComputePerMem int
+	// DepDist is the load's dependency distance: how many subsequent
+	// instructions are independent of the loaded value.
+	DepDist int
+	// StoreFrac is the fraction of memory instructions that are
+	// global stores.
+	StoreFrac float64
+	// AccessPattern shapes the address stream.
+	AccessPattern Pattern
+	// WorkingSetLines is the region size in cache lines (per warp for
+	// private patterns, global when Shared).
+	WorkingSetLines int
+	// Shared routes all SMs and warps at one global region,
+	// producing cross-core L2 reuse and contention.
+	Shared bool
+	// LinesPerAccess is the coalescing degree: distinct cache lines
+	// per warp memory instruction (1 = fully coalesced, 32 = fully
+	// scattered).
+	LinesPerAccess int
+	// StrideLines is the line stride for the Strided pattern.
+	StrideLines int
+	// HitFrac is the fraction of memory instructions that re-touch a
+	// small warp-private hot window (registers spilled to cache,
+	// lookup tables, query points). These accesses stay L1-resident,
+	// so 1-HitFrac approximates the kernel's L1 miss ratio.
+	HitFrac float64
+}
+
+// Name implements Workload.
+func (s Spec) Name() string { return s.SpecName }
+
+// WarpsPerSM implements Workload.
+func (s Spec) WarpsPerSM() int { return s.Warps }
+
+// Validate reports the first structural problem with the spec.
+func (s Spec) Validate() error {
+	if s.SpecName == "" {
+		return fmt.Errorf("workload: spec needs a name")
+	}
+	if s.Warps <= 0 {
+		return fmt.Errorf("workload %s: warps must be positive, got %d", s.SpecName, s.Warps)
+	}
+	if s.ComputePerMem < 0 {
+		return fmt.Errorf("workload %s: compute-per-mem must be >= 0", s.SpecName)
+	}
+	if s.DepDist < 1 {
+		return fmt.Errorf("workload %s: dep-dist must be >= 1", s.SpecName)
+	}
+	if s.StoreFrac < 0 || s.StoreFrac > 1 {
+		return fmt.Errorf("workload %s: store-frac out of [0,1]", s.SpecName)
+	}
+	if s.HitFrac < 0 || s.HitFrac > 1 {
+		return fmt.Errorf("workload %s: hit-frac out of [0,1]", s.SpecName)
+	}
+	if s.LinesPerAccess < 1 || s.LinesPerAccess > 32 {
+		return fmt.Errorf("workload %s: lines-per-access out of [1,32]", s.SpecName)
+	}
+	if s.WorkingSetLines < s.LinesPerAccess {
+		return fmt.Errorf("workload %s: working set smaller than one access", s.SpecName)
+	}
+	switch s.AccessPattern {
+	case Streaming, Strided, Stencil, Gather, Thrash:
+	default:
+		return fmt.Errorf("workload %s: unknown pattern %q", s.SpecName, s.AccessPattern)
+	}
+	if s.AccessPattern == Strided && s.StrideLines < 1 {
+		return fmt.Errorf("workload %s: strided pattern needs stride >= 1", s.SpecName)
+	}
+	return nil
+}
+
+// Stream implements Workload.
+func (s Spec) Stream(sm, warp int, seed uint64, lineSize uint64) core.InstrStream {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	var base uint64
+	switch {
+	case s.Shared:
+		base = 1 << 40 // one global region
+	case s.AccessPattern == Streaming:
+		// Streaming kernels assign consecutive data chunks to
+		// consecutive warps: one region per SM, walked warp-
+		// interleaved, which preserves DRAM row locality like real
+		// grid-strided CUDA loops.
+		base = (uint64(sm)+1)<<32 + uint64(sm*53)*lineSize
+	default:
+		// Distinct 256MB region per warp, staggered by an odd number
+		// of lines so regions start in different cache sets and DRAM
+		// rows instead of all aliasing to set 0.
+		id := uint64(sm*128 + warp)
+		base = (id+1)<<28 + (id*37)*lineSize
+	}
+	// The hot window is always warp-private, even for Shared
+	// patterns: it models per-thread state, not the shared data set.
+	id := uint64(sm*128 + warp)
+	hotBase := (id+1)<<27 + 1<<45 + (id*41)*lineSize
+	return &stream{
+		spec:     s,
+		rng:      rand.New(rand.NewPCG(seed, uint64(sm)<<32|uint64(warp)+0x9e3779b9)),
+		base:     base,
+		hotBase:  hotBase,
+		warp:     warp,
+		lineSize: lineSize,
+		// Interleave warps across the region so Shared patterns
+		// cover it instead of marching in lockstep.
+		pos: uint64(sm*s.Warps+warp) * 17,
+	}
+}
+
+// hotWindowLines is the size of the warp-private hot window; small
+// enough that every warp's window stays L1-resident.
+const hotWindowLines = 2
+
+// stream generates the instruction sequence for one warp.
+type stream struct {
+	spec     Spec
+	rng      *rand.Rand
+	base     uint64
+	hotBase  uint64
+	warp     int
+	lineSize uint64
+
+	pos         uint64 // pattern cursor (line units)
+	iter        uint64 // streaming grid-stride iteration
+	accesses    uint64
+	hotCursor   uint64
+	computeLeft int
+}
+
+// Next implements core.InstrStream.
+func (g *stream) Next() core.Instr {
+	if g.computeLeft > 0 {
+		g.computeLeft--
+		return core.Instr{Kind: core.ALU}
+	}
+	g.computeLeft = g.nextComputeGap()
+	store := g.rng.Float64() < g.spec.StoreFrac
+	var lines []uint64
+	if g.spec.HitFrac > 0 && g.rng.Float64() < g.spec.HitFrac {
+		g.hotCursor++
+		lines = []uint64{g.hotBase + (g.hotCursor%hotWindowLines)*g.lineSize}
+		store = false // hot-window traffic models read-mostly state
+	} else {
+		lines = g.nextLines()
+	}
+	lanes := make([]uint64, 32)
+	n := uint64(len(lines))
+	for i := range lanes {
+		lanes[i] = lines[uint64(i)%n] + uint64(i)*4%g.lineSize
+	}
+	return core.Instr{Kind: core.Mem, Store: store, Lanes: lanes, DepDist: g.spec.DepDist}
+}
+
+// nextComputeGap jitters the compute run length by ±1.
+func (g *stream) nextComputeGap() int {
+	c := g.spec.ComputePerMem
+	if c == 0 {
+		return 0
+	}
+	gap := c + g.rng.IntN(3) - 1
+	if gap < 0 {
+		gap = 0
+	}
+	return gap
+}
+
+// nextLines produces the distinct line addresses of one warp access.
+func (g *stream) nextLines() []uint64 {
+	k := g.spec.LinesPerAccess
+	ws := uint64(g.spec.WorkingSetLines)
+	out := make([]uint64, k)
+	g.accesses++
+	switch g.spec.AccessPattern {
+	case Streaming:
+		// Grid-stride loop: on iteration t, warp w touches the chunk
+		// at (t·W + w)·k, so the SM's warps jointly scan the region
+		// densely and in order — DRAM rows see sequential bursts.
+		start := (g.iter*uint64(g.spec.Warps) + uint64(g.warp)) * uint64(k)
+		for i := range out {
+			out[i] = g.lineAddr((start + uint64(i)) % ws)
+		}
+		g.iter++
+	case Thrash:
+		// Sequential scan that wraps: the working set exceeds the L1
+		// but stays L2-resident.
+		for i := range out {
+			out[i] = g.lineAddr((g.pos + uint64(i)) % ws)
+		}
+		g.pos += uint64(k)
+	case Strided:
+		stride := uint64(g.spec.StrideLines)
+		for i := range out {
+			out[i] = g.lineAddr(((g.pos + uint64(i)) * stride) % ws)
+		}
+		g.pos += uint64(k)
+	case Stencil:
+		// The window advances one line every 8 accesses.
+		center := (g.accesses / 8) % ws
+		for i := range out {
+			out[i] = g.lineAddr((center + uint64(i)) % ws)
+		}
+	case Gather:
+		seen := map[uint64]bool{}
+		for i := range out {
+			var idx uint64
+			for {
+				idx = g.rng.Uint64N(ws)
+				if !seen[idx] {
+					seen[idx] = true
+					break
+				}
+			}
+			out[i] = g.lineAddr(idx)
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown pattern %q", g.spec.AccessPattern))
+	}
+	return out
+}
+
+func (g *stream) lineAddr(lineIdx uint64) uint64 {
+	return g.base + lineIdx*g.lineSize
+}
+
+// registry holds the built-in benchmark models.
+var registry = map[string]Spec{}
+
+func register(s Spec) {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := registry[s.SpecName]; dup {
+		panic(fmt.Sprintf("workload: duplicate registration %q", s.SpecName))
+	}
+	registry[s.SpecName] = s
+}
+
+// ByName returns a built-in benchmark model.
+func ByName(name string) (Workload, error) {
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names lists the built-in benchmarks in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Suite returns the paper's Fig. 1 benchmark suite in the figure's
+// legend order.
+func Suite() []Workload {
+	names := []string{"cfd", "dwt2d", "leukocyte", "nn", "nw", "sc", "lbm", "ss"}
+	out := make([]Workload, len(names))
+	for i, n := range names {
+		w, err := ByName(n)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = w
+	}
+	return out
+}

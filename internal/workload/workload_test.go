@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRegistryHasPaperSuite(t *testing.T) {
+	want := []string{"cfd", "dwt2d", "leukocyte", "nn", "nw", "sc", "lbm", "ss"}
+	for _, n := range want {
+		if _, err := ByName(n); err != nil {
+			t.Errorf("missing benchmark %q: %v", n, err)
+		}
+	}
+	if len(Names()) != len(want) {
+		t.Errorf("registry has %d entries, want %d: %v", len(Names()), len(want), Names())
+	}
+	suite := Suite()
+	if len(suite) != 8 || suite[0].Name() != "cfd" || suite[7].Name() != "ss" {
+		t.Errorf("suite order wrong: %v", suiteNames(suite))
+	}
+}
+
+func suiteNames(ws []Workload) []string {
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name()
+	}
+	return out
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("doom3"); err == nil {
+		t.Fatalf("expected error for unknown benchmark")
+	}
+}
+
+func TestStreamsAreDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		wl, _ := ByName(name)
+		a := wl.Stream(3, 5, 42, 128)
+		b := wl.Stream(3, 5, 42, 128)
+		for i := 0; i < 500; i++ {
+			x, y := a.Next(), b.Next()
+			if x.Kind != y.Kind || x.Store != y.Store || len(x.Lanes) != len(y.Lanes) {
+				t.Fatalf("%s: streams diverge at instr %d", name, i)
+			}
+			for l := range x.Lanes {
+				if x.Lanes[l] != y.Lanes[l] {
+					t.Fatalf("%s: lane addresses diverge at instr %d", name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamsDifferAcrossWarps(t *testing.T) {
+	wl, _ := ByName("cfd")
+	a := wl.Stream(0, 0, 1, 128)
+	b := wl.Stream(0, 1, 1, 128)
+	same := true
+	for i := 0; i < 200 && same; i++ {
+		x, y := a.Next(), b.Next()
+		if x.Kind != y.Kind || len(x.Lanes) != len(y.Lanes) {
+			same = false
+			break
+		}
+		for l := range x.Lanes {
+			if x.Lanes[l] != y.Lanes[l] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("two warps produced identical 200-instruction streams")
+	}
+}
+
+// instrMix runs n instructions and returns (mem, store, distinct lines).
+func instrMix(s core.InstrStream, n int, lineSize uint64) (memN, storeN int, lines map[uint64]bool) {
+	lines = map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		in := s.Next()
+		if in.Kind != core.Mem {
+			continue
+		}
+		memN++
+		if in.Store {
+			storeN++
+		}
+		for _, l := range core.Coalesce(in.Lanes, lineSize) {
+			lines[l] = true
+		}
+	}
+	return
+}
+
+func TestMemoryIntensityMatchesSpec(t *testing.T) {
+	for _, name := range Names() {
+		wl, _ := ByName(name)
+		spec := wl.(Spec)
+		memN, storeN, _ := instrMix(wl.Stream(0, 0, 1, 128), 20000, 128)
+		wantFrac := 1.0 / float64(spec.ComputePerMem+1)
+		gotFrac := float64(memN) / 20000
+		if gotFrac < wantFrac*0.7 || gotFrac > wantFrac*1.3 {
+			t.Errorf("%s: mem fraction %.3f, want ~%.3f", name, gotFrac, wantFrac)
+		}
+		if spec.StoreFrac > 0 {
+			gotStore := float64(storeN) / float64(memN)
+			// The hot-window reuse fraction never stores, so the
+			// observed ratio is below the spec value.
+			ceiling := spec.StoreFrac * 1.4
+			if gotStore > ceiling {
+				t.Errorf("%s: store fraction %.3f above ceiling %.3f", name, gotStore, ceiling)
+			}
+		}
+	}
+}
+
+func TestWorkingSetBounded(t *testing.T) {
+	wl, _ := ByName("sc") // shared 3072-line thrash set
+	spec := wl.(Spec)
+	_, _, lines := instrMix(wl.Stream(0, 0, 1, 128), 50000, 128)
+	// Pattern lines plus the warp-private hot window.
+	limit := spec.WorkingSetLines + hotWindowLines
+	if len(lines) > limit {
+		t.Fatalf("sc touched %d distinct lines, working set is %d", len(lines), limit)
+	}
+}
+
+func TestStreamingCoversNewLines(t *testing.T) {
+	wl, _ := ByName("lbm")
+	_, _, a := instrMix(wl.Stream(0, 0, 1, 128), 10000, 128)
+	if len(a) < 100 {
+		t.Fatalf("streaming workload touched only %d lines", len(a))
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	good := Spec{
+		SpecName: "ok", Warps: 4, ComputePerMem: 2, DepDist: 1,
+		AccessPattern: Streaming, WorkingSetLines: 64, LinesPerAccess: 1,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+	bads := []func(*Spec){
+		func(s *Spec) { s.SpecName = "" },
+		func(s *Spec) { s.Warps = 0 },
+		func(s *Spec) { s.ComputePerMem = -1 },
+		func(s *Spec) { s.DepDist = 0 },
+		func(s *Spec) { s.StoreFrac = 1.5 },
+		func(s *Spec) { s.HitFrac = -0.1 },
+		func(s *Spec) { s.LinesPerAccess = 0 },
+		func(s *Spec) { s.LinesPerAccess = 64 },
+		func(s *Spec) { s.WorkingSetLines = 0 },
+		func(s *Spec) { s.AccessPattern = "zigzag" },
+		func(s *Spec) { s.AccessPattern = Strided; s.StrideLines = 0 },
+	}
+	for i, mut := range bads {
+		s := good
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestLanesStayWithinLines(t *testing.T) {
+	for _, name := range Names() {
+		wl, _ := ByName(name)
+		s := wl.Stream(1, 2, 7, 128)
+		for i := 0; i < 2000; i++ {
+			in := s.Next()
+			if in.Kind != core.Mem {
+				continue
+			}
+			if len(in.Lanes) != 32 {
+				t.Fatalf("%s: %d lanes, want 32", name, len(in.Lanes))
+			}
+		}
+	}
+}
+
+func TestHitFracProducesReuse(t *testing.T) {
+	spec := Spec{
+		SpecName: "hf", Warps: 1, ComputePerMem: 0, DepDist: 1,
+		AccessPattern: Streaming, WorkingSetLines: 1 << 16,
+		LinesPerAccess: 1, HitFrac: 0.5,
+	}
+	s := spec.Stream(0, 0, 1, 128)
+	counts := map[uint64]int{}
+	memN := 0
+	for i := 0; i < 4000; i++ {
+		in := s.Next()
+		if in.Kind != core.Mem {
+			continue
+		}
+		memN++
+		counts[in.Lanes[0]&^127]++
+	}
+	reused := 0
+	for _, c := range counts {
+		if c > 10 {
+			reused += c
+		}
+	}
+	frac := float64(reused) / float64(memN)
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("hot-window fraction = %.2f, want ~0.5", frac)
+	}
+}
+
+func TestStencilHasTemporalReuse(t *testing.T) {
+	spec := Spec{
+		SpecName: "st", Warps: 1, ComputePerMem: 0, DepDist: 1,
+		AccessPattern: Stencil, WorkingSetLines: 1024, LinesPerAccess: 2,
+	}
+	_, _, lines := instrMix(spec.Stream(0, 0, 1, 128), 800, 128)
+	// 800 accesses sliding one line per 8 accesses touch ~100+2 lines.
+	if len(lines) > 150 {
+		t.Fatalf("stencil touched %d lines in 800 instrs; expected strong reuse", len(lines))
+	}
+}
+
+func TestGatherStaysInWorkingSet(t *testing.T) {
+	spec := Spec{
+		SpecName: "ga", Warps: 1, ComputePerMem: 0, DepDist: 1,
+		AccessPattern: Gather, WorkingSetLines: 256, LinesPerAccess: 4, Shared: true,
+	}
+	_, _, lines := instrMix(spec.Stream(0, 0, 1, 128), 5000, 128)
+	if len(lines) > 256 {
+		t.Fatalf("gather escaped its working set: %d lines", len(lines))
+	}
+	if len(lines) < 200 {
+		t.Fatalf("gather covered only %d of 256 lines", len(lines))
+	}
+}
+
+func TestRegisterPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for duplicate registration")
+		}
+	}()
+	register(Spec{
+		SpecName: "cfd", Warps: 1, ComputePerMem: 1, DepDist: 1,
+		AccessPattern: Streaming, WorkingSetLines: 8, LinesPerAccess: 1,
+	})
+}
