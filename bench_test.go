@@ -14,6 +14,7 @@ package gpgpumem
 //	                                  L1+L2 +69, L2+DRAM +76)
 //	BenchmarkAblation*             — beyond-paper design ablations
 import (
+	"fmt"
 	"testing"
 )
 
@@ -217,5 +218,26 @@ func BenchmarkAblationBankHash(b *testing.B) {
 			b.ReportMetric(r.IPC, hash+"_ipc")
 			b.ReportMetric(r.DRAMRowHitRate*100, hash+"_rowhit_pct")
 		}
+	}
+}
+
+// BenchmarkFig1SuiteParallel measures how the Fig. 1 sweep scales on
+// the experiment engine's worker pool. The grid (suite × latencies,
+// plus one baseline per benchmark) is identical in every sub-benchmark;
+// only the worker count changes, so ns/op directly shows the speedup
+// (results are bit-identical at every -j — see
+// TestDeterminismAcrossRunner).
+func BenchmarkFig1SuiteParallel(b *testing.B) {
+	lats := []int64{0, 200, 400, 600, 800}
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			p := benchParams()
+			p.Parallelism = j
+			for i := 0; i < b.N; i++ {
+				if _, err := RunLatencyToleranceSuite(DefaultConfig(), Suite(), lats, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

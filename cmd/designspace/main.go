@@ -7,10 +7,11 @@
 // Usage:
 //
 //	designspace [-table] [-sets l1,l2,dram,l1l2,l2dram]
-//	            [-warmup 6000] [-window 20000] [-per-param]
+//	            [-warmup 6000] [-window 20000] [-per-param] [-j N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +28,7 @@ func main() {
 		window   = flag.Int64("window", 20000, "measurement window")
 		perParam = flag.Bool("per-param", false, "ablation: scale each Table I parameter individually (sc workload)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of the table")
+		jobs     = flag.Int("j", 0, "parallel simulations (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -35,7 +37,7 @@ func main() {
 		return
 	}
 	if *perParam {
-		perParamAblation(*warmup, *window)
+		perParamAblation(*warmup, *window, *jobs)
 		return
 	}
 
@@ -47,7 +49,7 @@ func main() {
 		}
 		sets = append(sets, set)
 	}
-	p := gpgpumem.RunParams{WarmupCycles: *warmup, WindowCycles: *window}
+	p := gpgpumem.RunParams{WarmupCycles: *warmup, WindowCycles: *window, Parallelism: *jobs}
 	res, err := gpgpumem.RunDesignSpace(gpgpumem.DefaultConfig(), gpgpumem.Suite(), sets, p)
 	if err != nil {
 		fatal(err)
@@ -77,7 +79,7 @@ func printTableI() {
 // perParamAblation scales each Table I knob individually on the most
 // hierarchy-bound workload, quantifying which knob inside each group
 // matters — detail the paper's group-level averages hide.
-func perParamAblation(warmup, window int64) {
+func perParamAblation(warmup, window int64, jobs int) {
 	wl, err := gpgpumem.WorkloadByName("sc")
 	if err != nil {
 		fatal(err)
@@ -101,21 +103,27 @@ func perParamAblation(warmup, window int64) {
 		{"l1 mshr x4", func(c *gpgpumem.Config) { c.L1.MSHREntries *= 4 }},
 		{"mem pipeline x4", func(c *gpgpumem.Config) { c.Core.MemPipelineWidth *= 4 }},
 	}
-	base, err := gpgpumem.NewSystem(gpgpumem.DefaultConfig(), wl)
-	if err != nil {
-		fatal(err)
-	}
-	baseIPC := base.Measure(warmup, window).IPC
-	fmt.Printf("per-parameter ablation on sc (baseline IPC %.3f)\n\n", baseIPC)
+	// One batch: the baseline first, then one job per knob.
+	batch := []gpgpumem.Job{{
+		Config: gpgpumem.DefaultConfig(), Workload: wl,
+		WarmupCycles: warmup, WindowCycles: window,
+	}}
 	for _, k := range knobs {
 		cfg := gpgpumem.DefaultConfig()
 		k.mut(&cfg)
-		sys, err := gpgpumem.NewSystem(cfg, wl)
-		if err != nil {
-			fatal(err)
-		}
-		ipc := sys.Measure(warmup, window).IPC
-		fmt.Printf("  %-24s %+6.1f%%\n", k.name, (ipc/baseIPC-1)*100)
+		batch = append(batch, gpgpumem.Job{
+			Config: cfg, Workload: wl,
+			WarmupCycles: warmup, WindowCycles: window,
+		})
+	}
+	res, err := gpgpumem.MeasureBatch(context.Background(), batch, jobs, nil)
+	if err != nil {
+		fatal(err)
+	}
+	baseIPC := res[0].IPC
+	fmt.Printf("per-parameter ablation on sc (baseline IPC %.3f)\n\n", baseIPC)
+	for i, k := range knobs {
+		fmt.Printf("  %-24s %+6.1f%%\n", k.name, (res[1+i].IPC/baseIPC-1)*100)
 	}
 }
 

@@ -1,24 +1,31 @@
-// Command gpusim runs one simulation — a workload on a configuration —
-// and prints the full measurement report.
+// Command gpusim runs one or more simulations — workloads on a
+// configuration — and prints the full measurement report of each.
+// With several comma-separated workloads the simulations run
+// concurrently on the experiment engine's worker pool (-j), and the
+// reports print in the order given.
 //
 // Usage:
 //
-//	gpusim [-workload sc] [-scale baseline|l1|l2|dram|l1l2|l2dram|all]
+//	gpusim [-workload sc | -workload sc,lbm,cfd] [-j N]
+//	       [-scale baseline|l1|l2|dram|l1l2|l2dram|all]
 //	       [-warmup 6000] [-window 20000] [-fixed-latency -1]
 //	       [-config file.json] [-dump-config] [-seed 1]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	gpgpumem "repro"
 )
 
 func main() {
 	var (
-		wlName   = flag.String("workload", "sc", "benchmark name (one of: cfd dwt2d leukocyte nn nw sc lbm ss)")
+		wlName   = flag.String("workload", "sc", "comma-separated benchmark names (from: cfd dwt2d leukocyte nn nw sc lbm ss)")
+		jobs     = flag.Int("j", 0, "parallel simulations when several workloads are given (0 = all cores)")
 		scale    = flag.String("scale", "baseline", "Table I scaling set: baseline|l1|l2|dram|l1l2|l2dram|all")
 		warmup   = flag.Int64("warmup", 6000, "warm-up cycles before measurement")
 		window   = flag.Int64("window", 20000, "measurement window in core cycles")
@@ -59,29 +66,46 @@ func main() {
 		return
 	}
 
-	var wl gpgpumem.Workload
-	var err2 error
+	var wls []gpgpumem.Workload
 	if *tracePth != "" {
 		f, err := os.Open(*tracePth)
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
-		wl, err2 = gpgpumem.ParseTrace(*tracePth, f)
+		wl, err := gpgpumem.ParseTrace(*tracePth, f)
+		if err != nil {
+			fatal(err)
+		}
+		wls = append(wls, wl)
 	} else {
-		wl, err2 = gpgpumem.WorkloadByName(*wlName)
+		for _, name := range strings.Split(*wlName, ",") {
+			wl, err := gpgpumem.WorkloadByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			wls = append(wls, wl)
+		}
 	}
-	if err2 != nil {
-		fatal(err2)
+	batch := make([]gpgpumem.Job, len(wls))
+	for i, wl := range wls {
+		batch[i] = gpgpumem.Job{
+			Config: cfg, Workload: wl,
+			WarmupCycles: *warmup, WindowCycles: *window,
+		}
 	}
-	sys, err := gpgpumem.NewSystem(cfg, wl)
+	results, err := gpgpumem.MeasureBatch(context.Background(), batch, *jobs, nil)
 	if err != nil {
 		fatal(err)
 	}
-	res := sys.Measure(*warmup, *window)
-	fmt.Printf("workload %s on %s config (%d-cycle window after %d warm-up)\n\n",
-		wl.Name(), set, *window, *warmup)
-	fmt.Print(res.String())
+	for i, wl := range wls {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("workload %s on %s config (%d-cycle window after %d warm-up)\n\n",
+			wl.Name(), set, *window, *warmup)
+		fmt.Print(results[i].String())
+	}
 }
 
 func loadConfig(data []byte) (gpgpumem.Config, error) {

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	latsweep [-workloads cfd,sc] [-max 800] [-step 50]
-//	         [-warmup 6000] [-window 20000]
+//	         [-warmup 6000] [-window 20000] [-j N] [-progress]
 package main
 
 import (
@@ -28,6 +28,8 @@ func main() {
 		window = flag.Int64("window", 20000, "measurement window")
 		csv    = flag.Bool("csv", false, "emit CSV instead of the table")
 		plot   = flag.Bool("plot", false, "also draw an ASCII rendition of Fig. 1")
+		jobs   = flag.Int("j", 0, "parallel simulations (0 = all cores, 1 = serial)")
+		prog   = flag.Bool("progress", false, "report sweep progress on stderr")
 	)
 	flag.Parse()
 
@@ -47,7 +49,15 @@ func main() {
 	for l := int64(0); l <= *maxLat; l += *step {
 		lats = append(lats, l)
 	}
-	p := gpgpumem.RunParams{WarmupCycles: *warmup, WindowCycles: *window}
+	p := gpgpumem.RunParams{WarmupCycles: *warmup, WindowCycles: *window, Parallelism: *jobs}
+	if *prog {
+		p.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rlatsweep: %d/%d simulations", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	rep, err := gpgpumem.RunLatencyToleranceSuite(gpgpumem.DefaultConfig(), suite, lats, p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "latsweep:", err)

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	occupancy [-warmup 6000] [-window 20000] [-detail]
+//	occupancy [-warmup 6000] [-window 20000] [-detail] [-j N]
 package main
 
 import (
@@ -22,10 +22,11 @@ func main() {
 		window = flag.Int64("window", 20000, "measurement window")
 		detail = flag.Bool("detail", false, "also print mean occupancies and the remaining queue families")
 		csv    = flag.Bool("csv", false, "emit CSV instead of the table")
+		jobs   = flag.Int("j", 0, "parallel simulations (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
-	p := gpgpumem.RunParams{WarmupCycles: *warmup, WindowCycles: *window}
+	p := gpgpumem.RunParams{WarmupCycles: *warmup, WindowCycles: *window, Parallelism: *jobs}
 	rep, err := gpgpumem.RunQueueOccupancy(gpgpumem.DefaultConfig(), gpgpumem.Suite(), p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "occupancy:", err)

@@ -16,6 +16,11 @@
 //   - RunQueueOccupancy — §III, queue full-of-usage occupancy;
 //   - RunDesignSpace — Table I / §IV, the ~4× design-space scaling.
 //
+// Each harness expresses its sweep as a batch of independent
+// simulations on a deterministic worker pool (RunParams.Parallelism;
+// MeasureBatch exposes the engine directly): reports are bit-identical
+// at any worker count, only faster.
+//
 // Quick start:
 //
 //	wl, _ := gpgpumem.WorkloadByName("sc")
@@ -25,10 +30,12 @@
 package gpgpumem
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/config"
 	"repro/internal/exp"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -154,11 +161,37 @@ func (s *System) Measure(warmup, window int64) Results {
 }
 
 // RunParams sets warmup and measurement-window lengths for the
-// experiment harnesses.
+// experiment harnesses, plus the worker count (Parallelism: 0 =
+// GOMAXPROCS, 1 = serial) and an optional Progress callback. Every
+// harness farms its sweep grid out to a bounded worker pool; because
+// each simulated GPU owns all of its state, reports are bit-identical
+// at any parallelism.
 type RunParams = exp.RunParams
 
 // DefaultRunParams returns the harnesses' default methodology.
 func DefaultRunParams() RunParams { return exp.DefaultRunParams() }
+
+// Job is one independent simulation for MeasureBatch: a configuration,
+// a workload, and the warmup/window methodology.
+type Job = runner.Job
+
+// MeasureBatch runs a grid of independent simulations on a bounded
+// worker pool and returns their measurements in submission order
+// (completion order does not matter; results are deterministic).
+// parallelism 0 means runtime.GOMAXPROCS(0) and 1 is fully serial.
+// Errors are collected per job and joined; canceling ctx fails the
+// not-yet-started jobs but lets in-flight simulations finish.
+func MeasureBatch(ctx context.Context, jobs []Job, parallelism int, progress func(done, total int)) ([]Results, error) {
+	return runner.Run(ctx, jobs, runner.Options{Parallelism: parallelism, Progress: progress})
+}
+
+// MeasureSuiteBaselines measures the unmodified base architecture
+// once per workload, as one batch on the worker pool — the shared
+// baseline runs that Fig. 1 normalization, §III occupancy, and §IV
+// speedups all start from.
+func MeasureSuiteBaselines(base Config, suite []Workload, p RunParams) ([]Results, error) {
+	return exp.Baselines(base, suite, p)
+}
 
 // LatencyCurve is one benchmark's Fig. 1 latency-tolerance profile.
 type LatencyCurve = exp.Fig1Curve

@@ -2,6 +2,7 @@ package gpgpumem
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -147,5 +148,49 @@ func TestTraceReplayEquivalence(t *testing.T) {
 	rep := run(replayed)
 	if orig != rep {
 		t.Fatalf("trace replay diverged from generator:\n orig %+v\n rep  %+v", orig, rep)
+	}
+}
+
+// TestDeterminismAcrossRunner is the regression guard for the
+// parallel experiment engine's core invariant: the same
+// (config, workload, seed) measured twice serially and once through
+// the parallel runner yields identical Results. Each simulated GPU
+// owns its entire state — including the seeded RNG behind the
+// workload address streams — so worker count must not change a bit.
+func TestDeterminismAcrossRunner(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Core.NumSMs = 4
+	cfg.L2.Partitions = 2
+	cfg.Seed = 7
+
+	var jobs []Job
+	for _, name := range []string{"sc", "lbm", "cfd", "dwt2d"} {
+		wl, err := WorkloadByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, Job{Config: cfg, Workload: wl, WarmupCycles: 500, WindowCycles: 1500})
+	}
+
+	serial1, err := MeasureBatch(context.Background(), jobs, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial2, err := MeasureBatch(context.Background(), jobs, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := MeasureBatch(context.Background(), jobs, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		if serial1[i] != serial2[i] {
+			t.Fatalf("job %d: two serial runs differ — simulation itself is nondeterministic", i)
+		}
+		if serial1[i] != parallel[i] {
+			t.Fatalf("job %d: parallel runner diverged from serial:\n serial   %+v\n parallel %+v",
+				i, serial1[i], parallel[i])
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -26,22 +27,38 @@ type DesignSpaceResult struct {
 
 // RunDesignSpace evaluates each Table I scaling set over the suite.
 // ScaleNone must not be included in sets (the baseline is implicit).
+// The exploration is one batch on the experiment engine: per
+// workload, a single baseline measurement (shared by every set's
+// speedup) followed by one job per scaling set.
 func RunDesignSpace(base config.Config, suite []workload.Workload, sets []config.ScalingSet, p RunParams) (DesignSpaceResult, error) {
+	// The scaled configurations are the same for every workload;
+	// derive them once instead of len(suite) times.
+	scaled := make([]config.Config, len(sets))
+	for si, set := range sets {
+		scaled[si] = set.Apply(base)
+	}
+	stride := 1 + len(sets)
+	jobs := make([]runner.Job, 0, len(suite)*stride)
+	for _, wl := range suite {
+		jobs = append(jobs, job(base, wl, p))
+		for si := range sets {
+			jobs = append(jobs, job(scaled[si], wl, p))
+		}
+	}
+	measured, err := run(jobs, p)
+	if err != nil {
+		return DesignSpaceResult{}, err
+	}
+
 	res := DesignSpaceResult{Sets: sets}
 	per := make([][]float64, len(suite))
 	for wi, wl := range suite {
-		baseRes, err := Measure(base, wl, p)
-		if err != nil {
-			return DesignSpaceResult{}, err
-		}
+		baseRes := measured[wi*stride]
 		res.Workloads = append(res.Workloads, wl.Name())
 		res.BaselineIPC = append(res.BaselineIPC, baseRes.IPC)
 		per[wi] = make([]float64, len(sets))
-		for si, set := range sets {
-			r, err := Measure(set.Apply(base), wl, p)
-			if err != nil {
-				return DesignSpaceResult{}, err
-			}
+		for si := range sets {
+			r := measured[wi*stride+1+si]
 			if baseRes.IPC > 0 {
 				per[wi][si] = r.IPC / baseRes.IPC
 			}

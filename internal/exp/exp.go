@@ -2,12 +2,21 @@
 // table of the paper: the Fig. 1 latency-tolerance sweep (with the §II
 // crossover analysis), the §III queue-occupancy characterization, and
 // the Table I / §IV design-space exploration.
+//
+// Each artifact is a grid of fully independent simulations, so every
+// harness expresses its sweep as one job batch on the internal/runner
+// worker pool. RunParams.Parallelism picks the worker count; because
+// each sim.GPU instance owns all of its state (including the seeded
+// RNG behind the workload address streams), a report is bit-identical
+// at any parallelism.
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -18,25 +27,64 @@ import (
 type RunParams struct {
 	WarmupCycles int64
 	WindowCycles int64
+	// Parallelism is the worker count the harnesses hand to the
+	// experiment engine. 0 means runtime.GOMAXPROCS(0); 1 reproduces
+	// the historical serial path.
+	Parallelism int
+	// Progress, when non-nil, is called after each simulation of a
+	// harness's batch completes, with the finished-job count and the
+	// batch size. Calls are serialized.
+	Progress func(done, total int)
 }
 
 // DefaultRunParams balances fidelity and runtime; the CLIs expose
-// flags to lengthen the runs.
+// flags to lengthen the runs and -j to change the worker count.
 func DefaultRunParams() RunParams {
 	return RunParams{WarmupCycles: 6000, WindowCycles: 20000}
 }
 
+// job binds a (config, workload) pair to p's methodology.
+func job(cfg config.Config, wl workload.Workload, p RunParams) runner.Job {
+	return runner.Job{
+		Config: cfg, Workload: wl,
+		WarmupCycles: p.WarmupCycles, WindowCycles: p.WindowCycles,
+	}
+}
+
+// run executes a harness's batch on the experiment engine.
+func run(jobs []runner.Job, p RunParams) ([]sim.Results, error) {
+	res, err := runner.Run(context.Background(), jobs, runner.Options{
+		Parallelism: p.Parallelism,
+		Progress:    p.Progress,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exp: %w", err)
+	}
+	return res, nil
+}
+
+// Baselines measures the unmodified base architecture once per
+// workload, as one batch. RunOccupancy's measurement *is* this batch,
+// and it is the shared definition of the baseline runs RunFig1Suite
+// and RunDesignSpace fold into their sweeps.
+func Baselines(base config.Config, suite []workload.Workload, p RunParams) ([]sim.Results, error) {
+	jobs := make([]runner.Job, len(suite))
+	for i, wl := range suite {
+		jobs[i] = job(base, wl, p)
+	}
+	return run(jobs, p)
+}
+
 // Measure builds a GPU for (cfg, wl), runs warmup+window, and returns
-// the window's results.
+// the window's results. It is the single-job form of the engine: the
+// worker pool executes exactly this per job, so a batch at any
+// parallelism is bit-identical to calling Measure in a loop.
 func Measure(cfg config.Config, wl workload.Workload, p RunParams) (sim.Results, error) {
-	g, err := sim.New(cfg, wl)
+	r, err := runner.Execute(job(cfg, wl, p))
 	if err != nil {
 		return sim.Results{}, fmt.Errorf("exp: %w", err)
 	}
-	g.Run(p.WarmupCycles)
-	g.ResetStats()
-	g.Run(p.WindowCycles)
-	return g.Results(), nil
+	return r, nil
 }
 
 // MustMeasure is Measure for callers with pre-validated inputs.

@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -49,22 +51,24 @@ func DefaultLatencies() []int64 {
 // RunFig1 sweeps the fixed L1 miss latency for one workload and
 // returns its latency-tolerance curve (one line of Fig. 1).
 func RunFig1(base config.Config, wl workload.Workload, latencies []int64, p RunParams) (Fig1Curve, error) {
-	baseRes, err := Measure(base, wl, p)
+	rep, err := RunFig1Suite(base, []workload.Workload{wl}, latencies, p)
 	if err != nil {
 		return Fig1Curve{}, err
 	}
+	return rep.Curves[0], nil
+}
+
+// fig1Curve assembles one workload's curve from its ordered slice of
+// measurements: the baseline first, then one result per latency.
+func fig1Curve(wl workload.Workload, latencies []int64, res []sim.Results) Fig1Curve {
+	baseRes := res[0]
 	c := Fig1Curve{
 		Workload:               wl.Name(),
 		BaselineIPC:            baseRes.IPC,
 		BaselineAvgMissLatency: baseRes.AvgMissLatency,
 	}
-	for _, lat := range latencies {
-		cfg := base
-		cfg.FixedLatency = config.FixedLatencyConfig{Enabled: true, Cycles: lat}
-		r, err := Measure(cfg, wl, p)
-		if err != nil {
-			return Fig1Curve{}, err
-		}
+	for i, lat := range latencies {
+		r := res[1+i]
 		pt := LatencyPoint{Latency: lat, IPC: r.IPC}
 		if baseRes.IPC > 0 {
 			pt.Normalized = r.IPC / baseRes.IPC
@@ -75,7 +79,7 @@ func RunFig1(base config.Config, wl workload.Workload, latencies []int64, p RunP
 		c.PlateauSpeedup = c.Points[0].Normalized
 	}
 	c.CrossoverLatency = crossover(c.Points)
-	return c, nil
+	return c
 }
 
 // crossover finds where normalized IPC crosses 1.0, interpolating
@@ -111,15 +115,29 @@ type Fig1Report struct {
 	Curves    []Fig1Curve
 }
 
-// RunFig1Suite runs RunFig1 for every workload.
+// RunFig1Suite regenerates all of Fig. 1. The whole grid — per
+// workload, one baseline measurement plus one sweep point per latency
+// — is submitted as a single batch to the experiment engine, so every
+// simulation (baselines included, measured exactly once per workload)
+// is available to the worker pool at once.
 func RunFig1Suite(base config.Config, suite []workload.Workload, latencies []int64, p RunParams) (Fig1Report, error) {
-	rep := Fig1Report{Latencies: latencies}
+	stride := 1 + len(latencies)
+	jobs := make([]runner.Job, 0, len(suite)*stride)
 	for _, wl := range suite {
-		c, err := RunFig1(base, wl, latencies, p)
-		if err != nil {
-			return Fig1Report{}, err
+		jobs = append(jobs, job(base, wl, p))
+		for _, lat := range latencies {
+			cfg := base
+			cfg.FixedLatency = config.FixedLatencyConfig{Enabled: true, Cycles: lat}
+			jobs = append(jobs, job(cfg, wl, p))
 		}
-		rep.Curves = append(rep.Curves, c)
+	}
+	res, err := run(jobs, p)
+	if err != nil {
+		return Fig1Report{}, err
+	}
+	rep := Fig1Report{Latencies: latencies}
+	for wi, wl := range suite {
+		rep.Curves = append(rep.Curves, fig1Curve(wl, latencies, res[wi*stride:(wi+1)*stride]))
 	}
 	return rep, nil
 }

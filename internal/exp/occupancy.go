@@ -34,15 +34,17 @@ type OccupancyReport struct {
 }
 
 // RunOccupancy measures §III queue occupancy for every workload on
-// the baseline architecture.
+// the baseline architecture. The measurements are exactly the
+// Baselines batch, run at p.Parallelism.
 func RunOccupancy(base config.Config, suite []workload.Workload, p RunParams) (OccupancyReport, error) {
+	res, err := Baselines(base, suite, p)
+	if err != nil {
+		return OccupancyReport{}, err
+	}
 	var rep OccupancyReport
 	var l2s, drams []float64
-	for _, wl := range suite {
-		r, err := Measure(base, wl, p)
-		if err != nil {
-			return OccupancyReport{}, err
-		}
+	for wi, wl := range suite {
+		r := res[wi]
 		row := OccupancyRow{
 			Workload:         wl.Name(),
 			L2AccessFull:     r.L2AccessQueue.FullOfUsage,

@@ -1,0 +1,154 @@
+package exp
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// testConfig shrinks the GPU so each harness runs in milliseconds.
+func testConfig() config.Config {
+	cfg := config.GTX480Baseline()
+	cfg.Core.NumSMs = 4
+	cfg.L2.Partitions = 2
+	return cfg
+}
+
+func testSuite(t *testing.T) []workload.Workload {
+	t.Helper()
+	var suite []workload.Workload
+	for _, n := range []string{"sc", "cfd", "nn"} {
+		wl, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suite = append(suite, wl)
+	}
+	return suite
+}
+
+func testParams(parallelism int) RunParams {
+	return RunParams{WarmupCycles: 500, WindowCycles: 1500, Parallelism: parallelism}
+}
+
+// TestFig1SuiteParallelismInvariant: the full Fig. 1 report renders
+// byte-identically at any worker count.
+func TestFig1SuiteParallelismInvariant(t *testing.T) {
+	cfg, suite := testConfig(), testSuite(t)
+	lats := []int64{0, 300, 600}
+	serial, err := RunFig1Suite(cfg, suite, lats, testParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunFig1Suite(cfg, suite, lats, testParams(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("Fig. 1 report differs across parallelism\nserial:\n%s\nparallel:\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+// TestOccupancyParallelismInvariant: the §III report is identical at
+// any worker count.
+func TestOccupancyParallelismInvariant(t *testing.T) {
+	cfg, suite := testConfig(), testSuite(t)
+	serial, err := RunOccupancy(cfg, suite, testParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunOccupancy(cfg, suite, testParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("§III report differs across parallelism\nserial:\n%s\nparallel:\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+// TestDesignSpaceParallelismInvariant: the §IV report is identical at
+// any worker count.
+func TestDesignSpaceParallelismInvariant(t *testing.T) {
+	cfg, suite := testConfig(), testSuite(t)
+	sets := []config.ScalingSet{config.ScaleL2, config.ScaleL2DRAM}
+	serial, err := RunDesignSpace(cfg, suite, sets, testParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunDesignSpace(cfg, suite, sets, testParams(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("§IV report differs across parallelism\nserial:\n%s\nparallel:\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+// TestRunFig1MatchesSuiteColumn: the single-workload harness is the
+// suite-of-one special case.
+func TestRunFig1MatchesSuiteColumn(t *testing.T) {
+	cfg := testConfig()
+	wl, err := workload.ByName("sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lats := []int64{0, 400}
+	curve, err := RunFig1(cfg, wl, lats, testParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunFig1Suite(cfg, []workload.Workload{wl}, lats, testParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.BaselineIPC != rep.Curves[0].BaselineIPC ||
+		curve.CrossoverLatency != rep.Curves[0].CrossoverLatency {
+		t.Fatalf("RunFig1 diverges from RunFig1Suite: %+v vs %+v", curve, rep.Curves[0])
+	}
+}
+
+// TestHarnessProgressCoversBatch: the Progress hook reports the
+// harness's full grid.
+func TestHarnessProgressCoversBatch(t *testing.T) {
+	cfg, suite := testConfig(), testSuite(t)
+	var mu sync.Mutex
+	var lastDone, lastTotal int
+	p := testParams(4)
+	p.Progress = func(done, total int) {
+		mu.Lock()
+		lastDone, lastTotal = done, total
+		mu.Unlock()
+	}
+	lats := []int64{0, 300}
+	if _, err := RunFig1Suite(cfg, suite, lats, p); err != nil {
+		t.Fatal(err)
+	}
+	want := len(suite) * (1 + len(lats))
+	if lastTotal != want || lastDone != want {
+		t.Fatalf("progress ended at %d/%d, want %d/%d", lastDone, lastTotal, want, want)
+	}
+}
+
+// TestBaselinesMatchesMeasure: the shared baseline batch agrees with
+// the single-job path.
+func TestBaselinesMatchesMeasure(t *testing.T) {
+	cfg, suite := testConfig(), testSuite(t)
+	batch, err := Baselines(cfg, suite, testParams(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, wl := range suite {
+		single, err := Measure(cfg, wl, testParams(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != single {
+			t.Fatalf("baseline for %s differs between batch and Measure", wl.Name())
+		}
+	}
+}

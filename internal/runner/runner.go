@@ -1,0 +1,159 @@
+// Package runner is the experiment-execution engine behind the exp
+// harnesses: a bounded worker pool that farms independent
+// (config, workload) simulations out to goroutines and returns their
+// measurements in submission order.
+//
+// Every figure and table of the paper is a grid of fully independent
+// simulations (Fig. 1 alone is 8 workloads × 18 configurations), and
+// each sim.GPU instance is self-contained state — the seeded RNG that
+// drives a workload's address streams lives inside the instance, and
+// no package-level mutable state is shared between instances. A batch
+// therefore produces bit-identical Results regardless of worker count
+// or completion order; only wall-clock time changes. The determinism
+// regression tests in this package and in the root package guard that
+// invariant, and CI runs the whole tree under the race detector.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Job is one independent simulation: build a GPU for (Config,
+// Workload), warm it up, and measure a window. Jobs carry their own
+// methodology so one batch can mix sweep points with different
+// configurations.
+type Job struct {
+	Config   config.Config
+	Workload workload.Workload
+	// WarmupCycles run before statistics are reset; WindowCycles is
+	// the measurement window (the exp.RunParams methodology).
+	WarmupCycles int64
+	WindowCycles int64
+}
+
+// Options tunes a batch run.
+type Options struct {
+	// Parallelism is the worker count. 0 (or negative) means
+	// runtime.GOMAXPROCS(0); 1 reproduces the historical serial path
+	// job-for-job.
+	Parallelism int
+	// Progress, when non-nil, is called after every job completes with
+	// the number of finished jobs and the batch size. Calls are
+	// serialized and done is strictly increasing, but jobs finish out
+	// of submission order, so done=k does not mean jobs 0..k-1.
+	Progress func(done, total int)
+}
+
+// workers resolves Options.Parallelism against the batch size.
+func (o Options) workers(jobs int) int {
+	n := o.Parallelism
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Execute runs a single job to completion on the calling goroutine:
+// validate and build the GPU, run warmup, reset statistics, run the
+// measurement window. This is the one definition of the measurement
+// methodology; the serial exp.Measure path and every pool worker both
+// funnel through it, which is what makes "same job, any parallelism,
+// same bits" checkable.
+func Execute(j Job) (sim.Results, error) {
+	g, err := sim.New(j.Config, j.Workload)
+	if err != nil {
+		return sim.Results{}, err
+	}
+	g.Run(j.WarmupCycles)
+	g.ResetStats()
+	g.Run(j.WindowCycles)
+	return g.Results(), nil
+}
+
+// Run executes every job on a bounded worker pool and returns the
+// results indexed by submission order, regardless of completion
+// order. Errors are collected per job and joined (a failed sweep
+// point does not abort the rest of the grid); ctx cancellation marks
+// every not-yet-started job with ctx.Err() but lets in-flight
+// simulations finish their window. A worker panic is captured and
+// reported as that job's error rather than tearing down the process.
+func Run(ctx context.Context, jobs []Job, opt Options) ([]sim.Results, error) {
+	results := make([]sim.Results, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	errs := make([]error, len(jobs))
+
+	idxCh := make(chan int)
+	doneCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.workers(len(jobs)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if err := ctx.Err(); err != nil {
+					errs[i] = fmt.Errorf("runner: job %d canceled: %w", i, err)
+				} else if res, err := execute(jobs[i]); err != nil {
+					errs[i] = fmt.Errorf("runner: job %d (%s): %w", i, jobName(jobs[i]), err)
+				} else {
+					results[i] = res
+				}
+				doneCh <- i
+			}
+		}()
+	}
+	go func() {
+		// Feeding never blocks forever: workers keep draining idxCh
+		// even after cancellation (they just record ctx.Err()).
+		for i := range jobs {
+			idxCh <- i
+		}
+		close(idxCh)
+	}()
+
+	// The collector is the single goroutine that observes completions,
+	// so Progress needs no locking of its own.
+	for done := 1; done <= len(jobs); done++ {
+		<-doneCh
+		if opt.Progress != nil {
+			opt.Progress(done, len(jobs))
+		}
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
+// jobName labels a job for error messages; a zero-value Job has a
+// nil Workload, which must not crash the error path itself.
+func jobName(j Job) string {
+	if j.Workload == nil {
+		return "<nil workload>"
+	}
+	return j.Workload.Name()
+}
+
+// execute wraps Execute with panic capture so one bad sweep point
+// surfaces as an error on its own index instead of killing the pool.
+func execute(j Job) (res sim.Results, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return Execute(j)
+}
