@@ -1,0 +1,120 @@
+// Command benchdiff compares two `go test -bench` outputs and prints
+// a per-benchmark ns/op delta table — a dependency-free benchstat
+// substitute for the CI bench job. It is warn-only: regressions emit
+// GitHub Actions ::warning:: annotations but the exit code is always
+// 0, because single-iteration CI runs on shared runners are too noisy
+// to gate merges on. The checked-in baseline (testdata/
+// bench-baseline.txt) is refreshed deliberately, with the machine
+// noted in the commit.
+//
+// Usage:
+//
+//	benchdiff [-threshold 25] baseline.txt new.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 25, "warn when ns/op regresses by more than this percentage")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] baseline.txt new.txt")
+		os.Exit(2)
+	}
+	base, err := parseBench(flag.Arg(0))
+	if err != nil {
+		// A missing or unreadable baseline is not an error: the job
+		// still publishes the fresh numbers.
+		fmt.Printf("benchdiff: no usable baseline (%v); skipping comparison\n", err)
+		return
+	}
+	cur, err := parseBench(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%-52s %14s %14s %9s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	for _, name := range cur.order {
+		now := cur.nsop[name]
+		old, ok := base.nsop[name]
+		if !ok {
+			fmt.Printf("%-52s %14s %14.0f %9s\n", name, "-", now, "new")
+			continue
+		}
+		delta := 100 * (now - old) / old
+		fmt.Printf("%-52s %14.0f %14.0f %+8.1f%%\n", name, old, now, delta)
+		if delta > *threshold {
+			fmt.Printf("::warning title=benchmark regression::%s slowed %.1f%% (%.0f -> %.0f ns/op)\n",
+				name, delta, old, now)
+		}
+	}
+	for _, name := range base.order {
+		if _, ok := cur.nsop[name]; !ok {
+			fmt.Printf("%-52s %14.0f %14s %9s\n", name, base.nsop[name], "-", "gone")
+		}
+	}
+}
+
+type benchSet struct {
+	nsop  map[string]float64
+	order []string
+}
+
+// parseBench extracts "BenchmarkX ... <n> ns/op" lines. The -cpu
+// suffix (e.g. "-8") is stripped so baselines survive runner-shape
+// changes.
+func parseBench(path string) (*benchSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set := &benchSet{nsop: map[string]float64{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		var ns float64
+		found := false
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err == nil {
+					ns, found = v, true
+				}
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if _, dup := set.nsop[name]; !dup {
+			set.order = append(set.order, name)
+		}
+		set.nsop[name] = ns
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(set.nsop) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines", path)
+	}
+	return set, nil
+}

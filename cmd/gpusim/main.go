@@ -10,6 +10,7 @@
 //	       [-scale baseline|l1|l2|dram|l1l2|l2dram|all]
 //	       [-warmup 6000] [-window 20000] [-fixed-latency -1]
 //	       [-config file.json] [-dump-config] [-seed 1]
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -17,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	gpgpumem "repro"
@@ -34,6 +37,8 @@ func main() {
 		dumpCfg  = flag.Bool("dump-config", false, "print the effective configuration as JSON and exit")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		tracePth = flag.String("trace", "", "replay a tracegen-recorded trace instead of a built-in workload")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
 
@@ -94,22 +99,51 @@ func main() {
 			WarmupCycles: *warmup, WindowCycles: *window,
 		}
 	}
+	// Profiling brackets exactly the simulations, and both profiles
+	// are finalized before any exit path — no fatal() runs while a
+	// profile is open, so an error can't leave a truncated file.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
 	results, err := gpgpumem.MeasureBatch(context.Background(), batch, *jobs, nil)
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		writeHeapProfile(*memProf)
+	}
 	if err != nil {
 		fatal(err)
 	}
-	for i, wl := range wls {
-		if i > 0 {
-			fmt.Println()
-		}
-		fmt.Printf("workload %s on %s config (%d-cycle window after %d warm-up)\n\n",
-			wl.Name(), set, *window, *warmup)
-		fmt.Print(results[i].String())
-	}
+	fmt.Print(gpgpumem.RenderBatchReport(set.String(), *warmup, *window, wls, results))
 }
 
 func loadConfig(data []byte) (gpgpumem.Config, error) {
 	return gpgpumem.ConfigFromJSON(data)
+}
+
+// writeHeapProfile snapshots the live heap to path. Failures are
+// reported without exiting: a broken heap-profile path must not
+// discard the run's results or its CPU profile.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpusim: memprofile:", err)
+		return
+	}
+	runtime.GC() // report live heap, not transient garbage
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "gpusim: memprofile:", err)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "gpusim: memprofile:", err)
+	}
 }
 
 func fatal(err error) {

@@ -72,6 +72,5 @@ func main() {
 		fmt.Println()
 		fmt.Print(rep.Plot(20))
 	}
-	fmt.Println("\n(paper Fig. 1: plateaus between ~1.2× and ~6×, sc highest;")
-	fmt.Println(" §II: crossovers far above the 120-cycle ideal L2 latency)")
+	fmt.Print(gpgpumem.Fig1Commentary)
 }

@@ -41,12 +41,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
-
 	lineSize := uint64(gpgpumem.DefaultConfig().L1.LineSize)
 	if err := trace.Record(wl, *sms, *n, *seed, lineSize, f); err != nil {
+		f.Close()
 		fatal(err)
 	}
+	// Close exactly once, and report its error: the trace is written
+	// through a buffered writer, so a failed close can mean a
+	// truncated file even after a successful Record.
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}

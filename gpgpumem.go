@@ -185,6 +185,13 @@ func MeasureBatch(ctx context.Context, jobs []Job, parallelism int, progress fun
 	return runner.Run(ctx, jobs, runner.Options{Parallelism: parallelism, Progress: progress})
 }
 
+// RenderBatchReport renders the full measurement reports of a batch,
+// one section per workload — cmd/gpusim's output format, also pinned
+// by the golden-output tests.
+func RenderBatchReport(scale string, warmup, window int64, wls []Workload, res []Results) string {
+	return exp.BatchReport(scale, warmup, window, wls, res)
+}
+
 // MeasureSuiteBaselines measures the unmodified base architecture
 // once per workload, as one batch on the worker pool — the shared
 // baseline runs that Fig. 1 normalization, §III occupancy, and §IV
@@ -204,6 +211,10 @@ type LatencyReport = exp.Fig1Report
 
 // DefaultLatencies returns Fig. 1's x-axis (0..800 step 50).
 func DefaultLatencies() []int64 { return exp.DefaultLatencies() }
+
+// Fig1Commentary is the interpretive note cmd/latsweep appends after
+// the Fig. 1 report (one copy, shared with the golden-output tests).
+const Fig1Commentary = exp.Fig1Commentary
 
 // RunLatencyTolerance regenerates one Fig. 1 curve: it measures the
 // baseline, then sweeps the fixed L1 miss latency.

@@ -13,6 +13,7 @@ import (
 // resources such as MSHRs ... serializes succeeding requests").
 type MSHR struct {
 	entries  map[uint64]*MSHREntry
+	free     []*MSHREntry // released entries, reused by Allocate
 	maxEntry int
 	maxMerge int
 	stats    MSHRStats
@@ -96,11 +97,22 @@ func (m *MSHR) Allocate(lineAddr uint64, req *mem.Request, now int64) AllocResul
 		m.stats.FullStalls++
 		return AllocStallFull
 	}
-	m.entries[lineAddr] = &MSHREntry{
-		LineAddr:   lineAddr,
-		Requests:   []*mem.Request{req},
-		AllocCycle: now,
+	var e *MSHREntry
+	if n := len(m.free); n > 0 {
+		e = m.free[n-1]
+		m.free = m.free[:n-1]
+		e.LineAddr = lineAddr
+		e.Requests = append(e.Requests[:0], req)
+		e.AllocCycle = now
+	} else {
+		e = &MSHREntry{
+			LineAddr:   lineAddr,
+			Requests:   make([]*mem.Request, 1, 4),
+			AllocCycle: now,
+		}
+		e.Requests[0] = req
 	}
+	m.entries[lineAddr] = e
 	m.stats.Allocs++
 	if n := len(m.entries); n > m.stats.PeakUsed {
 		m.stats.PeakUsed = n
@@ -114,12 +126,17 @@ func (m *MSHR) Lookup(lineAddr uint64) *MSHREntry { return m.entries[lineAddr] }
 // Release completes the miss on lineAddr and returns all merged
 // requests for response generation. Releasing an absent line panics:
 // it indicates a response without a matching outstanding miss.
+//
+// The returned slice is the entry's backing storage and is recycled:
+// it is valid only until the next Allocate on this MSHR. Callers
+// consume it immediately (the simulator's tick functions do).
 func (m *MSHR) Release(lineAddr uint64) []*mem.Request {
 	e, ok := m.entries[lineAddr]
 	if !ok {
 		panic(fmt.Sprintf("mshr: Release(%#x) without entry", lineAddr))
 	}
 	delete(m.entries, lineAddr)
+	m.free = append(m.free, e)
 	return e.Requests
 }
 

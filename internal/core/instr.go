@@ -47,6 +47,10 @@ type Instr struct {
 
 // InstrStream produces a warp's dynamic instruction stream. Streams
 // are infinite; the simulator measures IPC over a fixed cycle window.
+//
+// A stream may reuse the Lanes backing array: the slice returned by
+// one Next call is only valid until the next call. Consumers (the SM)
+// coalesce Lanes into their own storage before fetching again.
 type InstrStream interface {
 	Next() Instr
 }
@@ -59,21 +63,28 @@ func Coalesce(lanes []uint64, lineSize uint64) []uint64 {
 	if len(lanes) == 0 {
 		return nil
 	}
+	return CoalesceInto(make([]uint64, 0, 4), lanes, lineSize)
+}
+
+// CoalesceInto is Coalesce appending into dst (overwritten from
+// length 0), letting the per-cycle path reuse one scratch buffer
+// instead of allocating per memory instruction.
+func CoalesceInto(dst []uint64, lanes []uint64, lineSize uint64) []uint64 {
+	dst = dst[:0]
 	mask := ^(lineSize - 1)
-	out := make([]uint64, 0, 4)
 	for _, a := range lanes {
 		line := a & mask
 		dup := false
 		// Linear scan: transaction counts are small (<= 32).
-		for _, seen := range out {
+		for _, seen := range dst {
 			if seen == line {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			out = append(out, line)
+			dst = append(dst, line)
 		}
 	}
-	return out
+	return dst
 }

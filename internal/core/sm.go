@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cache"
 	"repro/internal/config"
@@ -33,41 +34,62 @@ type loadTracker struct {
 type warp struct {
 	id     int
 	stream InstrStream
-	cur    *Instr // fetched but unissued instruction
-	idx    int64  // dynamic instruction index
+	cur    Instr // fetched but unissued instruction
+	hasCur bool
+	idx    int64 // dynamic instruction index
 	loads  []*loadTracker
 	issued int64
+	// minBlock is a lower bound on the smallest blockIdx among active
+	// trackers (math.MaxInt64 with none): while idx stays below it the
+	// scheduler skips the scoreboard scan entirely. It is maintained
+	// lazily — a completed tracker leaves it stale-low, which only
+	// costs one extra scan, never a wrong answer.
+	minBlock int64
+	// blkBy caches the tracker found blocking this warp, making the
+	// (very common) still-blocked recheck a single counter load. It
+	// always points at one of w.loads, and blocked() clears it the
+	// moment the tracker completes — before pruneLoads could recycle
+	// it — so it never dangles into the tracker free list.
+	blkBy *loadTracker
 }
 
-// fetch ensures w.cur holds the next instruction.
+// fetch ensures w.cur holds the next instruction and returns it.
 func (w *warp) fetch() *Instr {
-	if w.cur == nil {
-		in := w.stream.Next()
-		w.cur = &in
+	if !w.hasCur {
+		w.cur = w.stream.Next()
+		w.hasCur = true
 	}
-	return w.cur
+	return &w.cur
 }
 
 // blocked reports whether the scoreboard forbids issuing the next
 // instruction: some outstanding load's first consumer is reached.
 func (w *warp) blocked() bool {
-	for _, lt := range w.loads {
-		if lt.remaining > 0 && w.idx >= lt.blockIdx {
+	if w.blkBy != nil {
+		if w.blkBy.remaining > 0 {
 			return true
 		}
+		w.blkBy = nil // completed; some other tracker may block now
 	}
-	return false
-}
-
-// pruneLoads drops completed trackers.
-func (w *warp) pruneLoads() {
-	kept := w.loads[:0]
+	if w.idx < w.minBlock {
+		return false
+	}
+	min := int64(math.MaxInt64)
 	for _, lt := range w.loads {
-		if lt.remaining > 0 {
-			kept = append(kept, lt)
+		if lt.remaining == 0 {
+			continue
+		}
+		if w.idx >= lt.blockIdx {
+			w.blkBy = lt
+			w.minBlock = 0 // force a rescan once lt completes
+			return true
+		}
+		if lt.blockIdx < min {
+			min = lt.blockIdx
 		}
 	}
-	w.loads = kept
+	w.minBlock = min
+	return false
 }
 
 // tx is one line transaction in the LDST pipeline.
@@ -128,15 +150,27 @@ type SM struct {
 	ldstQ   *queue.Queue[tx]
 	missQ   *queue.Queue[*mem.Request]
 	respQ   *queue.Queue[*mem.Packet]
-	drain   *memDrain
-	hitPipe []hitDone
+	drain   memDrain // active memory instruction (single issue register)
+	drainOn bool
+	hitPipe queue.Ring[hitDone]
 
-	backend   Backend
-	nextID    *uint64
-	lineSize  uint64
-	stats     Stats
-	missLat   *stats.Sampler // L1 miss round-trip latency, core cycles
-	issuedSet []bool         // scratch: warps issued this cycle
+	backend  Backend
+	nextID   *uint64
+	lineSize uint64
+	stats    Stats
+	missLat  *stats.Sampler // L1 miss round-trip latency, core cycles
+	issuedAt []int64        // last cycle each warp issued (scratch, no per-cycle clear)
+
+	pool        *mem.Pool      // request/packet recycling (nil: plain allocation)
+	coalesceBuf []uint64       // scratch for the coalescer (one drain at a time)
+	trackerFree []*loadTracker // loadTracker free list
+
+	// idle marks the SM quiescent: every queue and pipe is empty, no
+	// drain is active, and no warp could issue — a state only a
+	// DeliverResponse can change. While idle, Tick takes the O(1)
+	// fast path that applies exactly the stat deltas a full tick
+	// would (Cycles, StallNoWarp, empty-queue samples).
+	idle bool
 }
 
 // NewSM builds SM id with the given warp instruction streams. nextID
@@ -149,6 +183,10 @@ func NewSM(id int, cfg config.Config, streams []InstrStream, backend Backend, ne
 	for i, s := range streams {
 		warps[i] = &warp{id: i, stream: s}
 	}
+	issuedAt := make([]int64, len(streams))
+	for i := range issuedAt {
+		issuedAt[i] = -1
+	}
 	return &SM{
 		id:    id,
 		cfg:   cfg,
@@ -158,22 +196,33 @@ func NewSM(id int, cfg config.Config, streams []InstrStream, backend Backend, ne
 			Replacement: cfg.L1.Replacement, WriteBack: false,
 			Seed: cfg.Seed + uint64(id)*104729,
 		}),
-		mshr:      cache.NewMSHR(cfg.L1.MSHREntries, cfg.L1.MSHRMaxMerge),
-		ldstQ:     queue.New[tx](fmt.Sprintf("sm%d.ldst", id), cfg.Core.MemPipelineWidth),
-		missQ:     queue.New[*mem.Request](fmt.Sprintf("sm%d.miss", id), cfg.L1.MissQueue),
-		respQ:     queue.New[*mem.Packet](fmt.Sprintf("sm%d.resp", id), cfg.Core.ResponseQueue),
-		backend:   backend,
-		nextID:    nextID,
-		lineSize:  uint64(cfg.L1.LineSize),
-		missLat:   stats.NewSampler(8192, 128),
-		issuedSet: make([]bool, len(streams)),
+		mshr:        cache.NewMSHR(cfg.L1.MSHREntries, cfg.L1.MSHRMaxMerge),
+		ldstQ:       queue.New[tx](fmt.Sprintf("sm%d.ldst", id), cfg.Core.MemPipelineWidth),
+		missQ:       queue.New[*mem.Request](fmt.Sprintf("sm%d.miss", id), cfg.L1.MissQueue),
+		respQ:       queue.New[*mem.Packet](fmt.Sprintf("sm%d.resp", id), cfg.Core.ResponseQueue),
+		backend:     backend,
+		nextID:      nextID,
+		lineSize:    uint64(cfg.L1.LineSize),
+		missLat:     stats.NewSampler(8192, 128),
+		issuedAt:    issuedAt,
+		coalesceBuf: make([]uint64, 0, 32),
 	}
 }
+
+// UsePool wires the simulation-wide request/packet free lists into
+// the SM. Without it the SM allocates normally.
+func (s *SM) UsePool(p *mem.Pool) { s.pool = p }
 
 // DeliverResponse accepts a fill response (the response crossbar's
 // sink and the fixed-latency backend's delivery port). A false return
 // back-pressures the network.
-func (s *SM) DeliverResponse(pkt *mem.Packet) bool { return s.respQ.Push(pkt) }
+func (s *SM) DeliverResponse(pkt *mem.Packet) bool {
+	if !s.respQ.Push(pkt) {
+		return false
+	}
+	s.idle = false
+	return true
+}
 
 // Stats returns a copy of the SM counters.
 func (s *SM) Stats() Stats { return s.stats }
@@ -195,15 +244,37 @@ func (s *SM) LDSTUsage() *stats.QueueUsage { return s.ldstQ.Usage() }
 
 // Pending returns in-flight work items, for drain checks in tests.
 func (s *SM) Pending() int {
-	n := s.ldstQ.Len() + s.missQ.Len() + s.respQ.Len() + s.mshr.Used() + len(s.hitPipe)
-	if s.drain != nil {
+	n := s.ldstQ.Len() + s.missQ.Len() + s.respQ.Len() + s.mshr.Used() + s.hitPipe.Len()
+	if s.drainOn {
 		n += len(s.drain.lines) - s.drain.next
 	}
 	return n
 }
 
+// Quiescent reports whether the SM is in the idle state that only a
+// DeliverResponse can change: all queues and pipes empty, no active
+// drain, and no issuable warp. The GPU uses it to batch-skip cycles
+// in fixed-latency mode.
+func (s *SM) Quiescent() bool { return s.idle }
+
+// SkipIdle accounts n quiescent cycles in one call: the exact stat
+// deltas of n idle Ticks (cycle and no-warp-stall counts, empty-queue
+// occupancy samples) without executing them. The caller must ensure
+// the SM is Quiescent and receives no response in the skipped span.
+func (s *SM) SkipIdle(n int64) {
+	s.stats.Cycles += n
+	s.stats.StallNoWarp += n
+	s.ldstQ.SampleN(n)
+	s.missQ.SampleN(n)
+	s.respQ.SampleN(n)
+}
+
 // Tick advances the SM by one core cycle.
 func (s *SM) Tick(cycle int64) {
+	if s.idle {
+		s.SkipIdle(1)
+		return
+	}
 	s.stats.Cycles++
 	s.processResponses(cycle)
 	s.completeHits(cycle)
@@ -231,20 +302,24 @@ func (s *SM) processResponses(cycle int64) {
 			lt.remaining--
 		}
 		s.missLat.Add(float64(cycle - r.IssueCycle))
+		// The released request's last reference dies here (the
+		// response packet's Req is the primary, also in this list).
+		s.pool.PutRequest(r)
 	}
+	s.pool.PutPacket(pkt)
 	s.stats.FillsProcessed++
 }
 
 // completeHits retires L1 hits whose latency elapsed.
 func (s *SM) completeHits(cycle int64) {
-	i := 0
-	for ; i < len(s.hitPipe); i++ {
-		if s.hitPipe[i].doneAt > cycle {
-			break
+	for {
+		h, ok := s.hitPipe.Peek()
+		if !ok || h.doneAt > cycle {
+			return
 		}
-		s.hitPipe[i].tracker.remaining--
+		s.hitPipe.Pop()
+		h.tracker.remaining--
 	}
-	s.hitPipe = s.hitPipe[i:]
 }
 
 // accessL1 services the LDST queue head against the L1: one access
@@ -274,8 +349,11 @@ func (s *SM) accessL1(cycle int64) {
 	switch s.l1.Probe(line) {
 	case cache.Hit:
 		s.l1.Lookup(line, false, cycle)
-		s.hitPipe = append(s.hitPipe, hitDone{doneAt: cycle + s.cfg.L1.HitLatency, tracker: t.tracker})
+		s.hitPipe.Push(hitDone{doneAt: cycle + s.cfg.L1.HitLatency, tracker: t.tracker})
 		s.ldstQ.Pop()
+		// An L1 hit never leaves the core: the request retires here
+		// (only its tracker lives on, in the hit pipe).
+		s.pool.PutRequest(t.req)
 	case cache.HitReserved:
 		if !s.mshr.CanMerge(line) {
 			s.stats.StallMSHR++
@@ -328,17 +406,18 @@ func (s *SM) forwardMisses() {
 // drainMemInstr feeds the active memory instruction's transactions
 // into the LDST queue, one per cycle.
 func (s *SM) drainMemInstr() {
-	d := s.drain
-	if d == nil {
+	if !s.drainOn {
 		return
 	}
+	d := &s.drain
 	if s.ldstQ.Full() {
 		s.stats.StallLDSTFull++
 		return
 	}
 	addr := d.lines[d.next]
 	*s.nextID++
-	req := &mem.Request{
+	req := s.pool.GetRequest()
+	*req = mem.Request{
 		ID: *s.nextID, Addr: addr, LineSize: s.lineSize,
 		CoreID: s.id, WarpID: d.w.id,
 	}
@@ -352,44 +431,48 @@ func (s *SM) drainMemInstr() {
 	s.stats.Transactions++
 	d.next++
 	if d.next == len(d.lines) {
-		s.drain = nil
+		s.drainOn = false
 	}
 }
 
 // issue runs the warp scheduler: up to IssueWidth warps issue one
 // instruction each.
 func (s *SM) issue(cycle int64) {
-	for i := range s.issuedSet {
-		s.issuedSet[i] = false
-	}
 	issued := 0
 	for slot := 0; slot < s.cfg.Core.IssueWidth; slot++ {
-		w := s.pickWarp()
+		w := s.pickWarp(cycle)
 		if w == nil {
 			break
 		}
 		s.issueOn(w, cycle)
-		s.issuedSet[w.id] = true
+		s.issuedAt[w.id] = cycle
 		s.lastIssued = w.id
 		issued++
 	}
 	if issued == 0 {
 		s.stats.StallNoWarp++
+		// Nothing issued and nothing in flight: the SM is frozen
+		// until a response arrives, so later Ticks can take the idle
+		// fast path (same stats, none of the work).
+		if !s.drainOn && s.hitPipe.Empty() &&
+			s.respQ.Empty() && s.ldstQ.Empty() && s.missQ.Empty() {
+			s.idle = true
+		}
 	}
 }
 
 // canIssue reports whether warp w may issue its next instruction now.
-func (s *SM) canIssue(w *warp) bool {
-	if s.issuedSet[w.id] || w.blocked() {
+func (s *SM) canIssue(w *warp, cycle int64) bool {
+	if s.issuedAt[w.id] == cycle || w.blocked() {
 		return false
 	}
 	in := w.fetch()
 	if in.Kind == Mem {
-		if s.drain != nil {
+		if s.drainOn {
 			return false // single mem-issue register per SM
 		}
 		if !in.Store && len(w.loads) >= maxPendingLoadsPerWarp {
-			w.pruneLoads()
+			s.pruneLoads(w)
 			if len(w.loads) >= maxPendingLoadsPerWarp {
 				return false
 			}
@@ -398,24 +481,47 @@ func (s *SM) canIssue(w *warp) bool {
 	return true
 }
 
+// pruneLoads drops w's completed trackers, recycling them.
+func (s *SM) pruneLoads(w *warp) {
+	kept := w.loads[:0]
+	for _, lt := range w.loads {
+		if lt.remaining > 0 {
+			kept = append(kept, lt)
+		} else {
+			s.trackerFree = append(s.trackerFree, lt)
+		}
+	}
+	w.loads = kept
+}
+
+// getTracker returns a recycled or fresh loadTracker.
+func (s *SM) getTracker() *loadTracker {
+	if n := len(s.trackerFree); n > 0 {
+		lt := s.trackerFree[n-1]
+		s.trackerFree = s.trackerFree[:n-1]
+		return lt
+	}
+	return &loadTracker{}
+}
+
 // pickWarp selects the next warp per the configured policy.
-func (s *SM) pickWarp() *warp {
+func (s *SM) pickWarp(cycle int64) *warp {
 	n := len(s.warps)
 	switch s.cfg.Core.Scheduler {
 	case "gto":
 		// Greedy: stick with the last-issued warp...
-		if w := s.warps[s.lastIssued]; s.canIssue(w) {
+		if w := s.warps[s.lastIssued]; s.canIssue(w, cycle) {
 			return w
 		}
 		// ...then oldest (lowest id) ready warp.
 		for i := 0; i < n; i++ {
-			if w := s.warps[i]; s.canIssue(w) {
+			if w := s.warps[i]; s.canIssue(w, cycle) {
 				return w
 			}
 		}
 	case "lrr":
 		for k := 1; k <= n; k++ {
-			if w := s.warps[(s.lastIssued+k)%n]; s.canIssue(w) {
+			if w := s.warps[(s.lastIssued+k)%n]; s.canIssue(w, cycle) {
 				return w
 			}
 		}
@@ -428,7 +534,7 @@ func (s *SM) pickWarp() *warp {
 // issueOn issues warp w's fetched instruction.
 func (s *SM) issueOn(w *warp, cycle int64) {
 	in := w.cur
-	w.cur = nil
+	w.hasCur = false
 	w.idx++
 	w.issued++
 	s.stats.Instructions++
@@ -436,23 +542,34 @@ func (s *SM) issueOn(w *warp, cycle int64) {
 		return
 	}
 	s.stats.MemInstrs++
-	lines := Coalesce(in.Lanes, s.lineSize)
+	s.coalesceBuf = CoalesceInto(s.coalesceBuf, in.Lanes, s.lineSize)
+	lines := s.coalesceBuf
 	if len(lines) == 0 {
 		return
 	}
-	d := &memDrain{w: w, lines: lines, store: in.Store}
+	s.drain = memDrain{w: w, lines: lines, store: in.Store}
 	if !in.Store {
 		dep := in.DepDist
 		if dep < 1 {
 			dep = 1
 		}
+		// Completed trackers are dead weight for the scoreboard scan
+		// and would otherwise accumulate in warps that never hit the
+		// pending-load limit; prune before tracking another load.
+		// (Safe here: blocked() just returned false, so w.blkBy is nil
+		// and cannot dangle into the recycled trackers.)
+		s.pruneLoads(w)
 		// The load was instruction w.idx-1; dep subsequent instructions
 		// are independent, so the first dependent one is at w.idx-1+dep+1.
-		lt := &loadTracker{remaining: len(lines), blockIdx: w.idx + int64(dep)}
+		lt := s.getTracker()
+		*lt = loadTracker{remaining: len(lines), blockIdx: w.idx + int64(dep)}
 		w.loads = append(w.loads, lt)
-		d.tracker = lt
+		if lt.blockIdx < w.minBlock {
+			w.minBlock = lt.blockIdx
+		}
+		s.drain.tracker = lt
 	}
-	s.drain = d
+	s.drainOn = true
 }
 
 // ResetStats zeroes every SM counter, queue tracker and the miss

@@ -60,10 +60,11 @@ type Channel struct {
 	busFreeAt int64
 	// inflight holds issued accesses awaiting completion, ordered by
 	// completeAt (issue order preserves it: bus serialization).
-	inflight []inflight
+	inflight queue.Ring[inflight]
 	// stuck holds a completed read the sink refused.
 	stuck *mem.Request
 	sink  ReturnSink
+	pool  *mem.Pool // request recycling (nil: plain allocation)
 	burst int64
 	// lastActivate and actWindow enforce tRRD and tFAW across banks.
 	lastActivate int64
@@ -97,6 +98,11 @@ func NewChannel(id int, cfg config.DRAMConfig, lineSize, partitions int, sink Re
 	return ch
 }
 
+// UsePool wires the simulation-wide request free list into the
+// channel: writebacks and store requests retire here and are
+// recycled. Without it completed requests are left to the GC.
+func (c *Channel) UsePool(p *mem.Pool) { c.pool = p }
+
 // Push enqueues a request into the scheduler queue; false means full.
 func (c *Channel) Push(req *mem.Request) bool { return c.schedQ.Push(req) }
 
@@ -111,15 +117,29 @@ func (c *Channel) Stats() Stats { return c.stats }
 
 // Pending returns queued plus in-flight accesses, for drain checks.
 func (c *Channel) Pending() int {
-	n := c.schedQ.Len() + len(c.inflight)
+	n := c.schedQ.Len() + c.inflight.Len()
 	if c.stuck != nil {
 		n++
 	}
 	return n
 }
 
+// Quiescent reports whether the channel has no queued, in-flight or
+// stuck access. A quiescent tick reduces to the refresh-timer check
+// and the scheduler-queue occupancy sample.
+func (c *Channel) Quiescent() bool {
+	return c.schedQ.Empty() && c.inflight.Empty() && c.stuck == nil
+}
+
 // Tick advances the channel by one DRAM cycle.
 func (c *Channel) Tick(cycle int64) {
+	if c.Quiescent() {
+		// Refresh timing marches on even with no traffic (tREFI is
+		// wall-clock), but completions and issue would both no-op.
+		c.refresh(cycle)
+		c.schedQ.Sample()
+		return
+	}
 	c.refresh(cycle)
 	c.drainCompletions(cycle)
 	c.issue(cycle)
@@ -172,17 +192,23 @@ func (c *Channel) drainCompletions(cycle int64) {
 			return
 		}
 	}
-	for len(c.inflight) > 0 && c.inflight[0].completeAt <= cycle {
-		fin := c.inflight[0]
+	for {
+		fin, ok := c.inflight.Peek()
+		if !ok || fin.completeAt > cycle {
+			return
+		}
+		c.inflight.Pop()
 		if fin.req.Kind == mem.Load {
 			if !c.sink.Accept(fin.req) {
 				c.stuck = fin.req
-				c.inflight = c.inflight[1:]
 				c.stats.ReturnStalls++
 				return
 			}
+		} else {
+			// Writebacks (and any other non-read) never generate a
+			// response: the DRAM write is their last act.
+			c.pool.PutRequest(fin.req)
 		}
-		c.inflight = c.inflight[1:]
 	}
 }
 
@@ -322,7 +348,7 @@ func (c *Channel) start(req *mem.Request, cycle int64) {
 	}
 	b.readyAt = bankReady
 
-	c.inflight = append(c.inflight, inflight{req: req, completeAt: dataEnd})
+	c.inflight.Push(inflight{req: req, completeAt: dataEnd})
 }
 
 // ResetStats zeroes the channel counters and the scheduler-queue

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/runner"
+	"repro/internal/workload"
+)
+
+// The golden files under testdata/ pin the exact bytes of the CLI
+// reports (they predate the hot-path refactor: free lists, idle
+// skipping, buffer reuse — none of which may change a single digit).
+// CI additionally regenerates them with the real binaries and
+// git-diffs; these tests enforce the same bytes at the library level,
+// at serial and parallel worker counts.
+
+// goldenParams is the pinned methodology of the golden runs:
+// gpusim -workload sc,cfd -warmup 2000 -window 5000 -seed 1.
+func goldenParams(parallelism int) RunParams {
+	return RunParams{WarmupCycles: 2000, WindowCycles: 5000, Parallelism: parallelism}
+}
+
+func goldenSuite(t *testing.T) []workload.Workload {
+	t.Helper()
+	suite := make([]workload.Workload, 0, 2)
+	for _, name := range []string{"sc", "cfd"} {
+		wl, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suite = append(suite, wl)
+	}
+	return suite
+}
+
+func readGolden(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestGoldenGpusimReport(t *testing.T) {
+	want := readGolden(t, "gpusim-sc-cfd.golden")
+	suite := goldenSuite(t)
+	cfg := config.GTX480Baseline()
+	for _, j := range []int{1, 4} {
+		p := goldenParams(j)
+		jobs := make([]runner.Job, len(suite))
+		for i, wl := range suite {
+			jobs[i] = job(cfg, wl, p)
+		}
+		res, err := run(jobs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := BatchReport("baseline", p.WarmupCycles, p.WindowCycles, suite, res)
+		if got != want {
+			t.Errorf("j=%d: gpusim report drifted from golden:\n got:\n%s\nwant:\n%s", j, got, want)
+		}
+	}
+}
+
+func TestGoldenLatsweepReport(t *testing.T) {
+	want := readGolden(t, "latsweep-sc-cfd.golden")
+	suite := goldenSuite(t)
+	cfg := config.GTX480Baseline()
+	for _, j := range []int{1, 3} {
+		rep, err := RunFig1Suite(cfg, suite, []int64{0, 200, 400}, goldenParams(j))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The golden file holds the full CLI output: report plus the
+		// commentary the binary appends.
+		if got := rep.String() + Fig1Commentary; got != want {
+			t.Errorf("j=%d: latsweep report drifted from golden:\n got:\n%s\nwant:\n%s", j, got, want)
+		}
+	}
+}

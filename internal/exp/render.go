@@ -4,7 +4,35 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
 )
+
+// Fig1Commentary is the interpretive note cmd/latsweep appends after
+// the Fig. 1 report. It lives here — next to the report renderer —
+// so the CLI and the golden-output tests share one copy of the exact
+// bytes.
+const Fig1Commentary = "\n(paper Fig. 1: plateaus between ~1.2× and ~6×, sc highest;\n" +
+	" §II: crossovers far above the 120-cycle ideal L2 latency)\n"
+
+// BatchReport renders the full measurement report of a batch of
+// simulations, one section per workload — the exact output of
+// cmd/gpusim, shared with the golden-output tests so the CLI and the
+// snapshot gate can never drift apart. scale names the applied
+// scaling set ("baseline" for the unmodified architecture).
+func BatchReport(scale string, warmup, window int64, wls []workload.Workload, res []sim.Results) string {
+	var b strings.Builder
+	for i, wl := range wls {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "workload %s on %s config (%d-cycle window after %d warm-up)\n\n",
+			wl.Name(), scale, window, warmup)
+		b.WriteString(res[i].String())
+	}
+	return b.String()
+}
 
 // CSV renders the Fig. 1 report as comma-separated values: a header
 // row of benchmark names, then one row per swept latency — ready for

@@ -64,7 +64,10 @@ type Crossbar struct {
 	remaining []int
 	rr        []int
 	sink      Sink
-	stats     Stats
+	// busy counts packets buffered at inputs plus packets mid-transfer
+	// at outputs; zero means a tick has nothing to arbitrate or move.
+	busy  int
+	stats Stats
 }
 
 // New builds a crossbar delivering into sink.
@@ -109,14 +112,26 @@ func (c *Crossbar) Push(src int, pkt *mem.Packet) bool {
 		c.stats.InputFullRejects++
 		return false
 	}
+	c.busy++
 	return true
 }
+
+// Quiescent reports whether the crossbar holds no packets — neither
+// buffered at an input nor mid-transfer at an output — so a tick
+// would only sample the (empty) input queues.
+func (c *Crossbar) Quiescent() bool { return c.busy == 0 }
 
 // InputFree returns the free slots at input port src.
 func (c *Crossbar) InputFree(src int) int { return c.inputs[src].Free() }
 
 // Tick advances the crossbar by one interconnect cycle.
 func (c *Crossbar) Tick(cycle int64) {
+	if c.busy == 0 {
+		for _, in := range c.inputs {
+			in.Sample()
+		}
+		return
+	}
 	for out := 0; out < c.cfg.Outputs; out++ {
 		if c.current[out] == nil {
 			c.arbitrate(out)
@@ -136,6 +151,7 @@ func (c *Crossbar) Tick(cycle int64) {
 			if c.sink.Accept(out, pkt) {
 				c.stats.Packets++
 				c.current[out] = nil
+				c.busy--
 			} else {
 				c.stats.OutputStalls++
 			}

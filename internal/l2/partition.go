@@ -66,18 +66,19 @@ type Partition struct {
 	// hitPipe and fillPipe hold in-flight accesses in doneAt order
 	// (constant per-pipe latencies keep them sorted). New hits stall
 	// when hitPipe is full, bounding pipeline registers.
-	hitPipe  []pipeOp
-	fillPipe []pipeOp
+	hitPipe  queue.Ring[pipeOp]
+	fillPipe queue.Ring[pipeOp]
 	chn      *dram.Channel
 
 	// pendingResp holds responses produced by one fill, drained into
 	// respQ one per cycle; bounded by the MSHR merge limit.
-	pendingResp []*mem.Packet
+	pendingResp queue.Ring[*mem.Packet]
 
 	resp       Injector
 	portCycles int64
 	lineShift  uint
-	nextID     *uint64 // simulation-wide request id counter (writebacks)
+	nextID     *uint64   // simulation-wide request id counter (writebacks)
+	pool       *mem.Pool // request/packet recycling (nil: plain allocation)
 	stats      Stats
 	svcLatency *stats.Sampler // access-queue-entry → response latency
 }
@@ -108,6 +109,14 @@ func New(id int, cfg config.Config, resp Injector, nextID *uint64) *Partition {
 	}
 	p.chn = dram.NewChannel(id, cfg.DRAM, ls, cfg.L2.Partitions, retSink{p})
 	return p
+}
+
+// UsePool wires the simulation-wide request/packet free lists into
+// the partition and its DRAM channel. Without it both allocate
+// normally.
+func (p *Partition) UsePool(pool *mem.Pool) {
+	p.pool = pool
+	p.chn.UsePool(pool)
 }
 
 func trailingZeros(v int) int {
@@ -160,8 +169,18 @@ func (p *Partition) ServiceLatency() *stats.Sampler { return p.svcLatency }
 // Pending returns in-flight work, for drain checks in tests.
 func (p *Partition) Pending() int {
 	return p.accessQ.Len() + p.missQ.Len() + p.respQ.Len() + p.retQ.Len() +
-		len(p.pendingResp) + len(p.hitPipe) + len(p.fillPipe) +
+		p.pendingResp.Len() + p.hitPipe.Len() + p.fillPipe.Len() +
 		p.mshr.Used() + p.chn.Pending()
+}
+
+// Quiescent reports whether the partition has no work a tick could
+// advance: every queue, pipe and staging buffer is empty. (L2 MSHR
+// entries don't count — their fills arrive through the return queue,
+// which is checked.) A quiescent tick only samples occupancies.
+func (p *Partition) Quiescent() bool {
+	return p.accessQ.Empty() && p.missQ.Empty() && p.respQ.Empty() &&
+		p.retQ.Empty() && p.pendingResp.Empty() &&
+		p.hitPipe.Empty() && p.fillPipe.Empty()
 }
 
 // bankFor maps a line address to a bank.
@@ -170,8 +189,16 @@ func (p *Partition) bankFor(lineAddr uint64) int {
 }
 
 // Tick advances the partition by one L2 cycle. The DRAM channel ticks
-// separately in its own domain.
+// separately in its own domain. A quiescent partition only samples
+// its (empty) queues — the stages below would all no-op.
 func (p *Partition) Tick(cycle int64) {
+	if p.Quiescent() {
+		p.accessQ.Sample()
+		p.missQ.Sample()
+		p.respQ.Sample()
+		p.retQ.Sample()
+		return
+	}
 	p.completeFills(cycle)
 	p.completeHits(cycle)
 	p.drainPendingResp()
@@ -190,26 +217,32 @@ func (p *Partition) Tick(cycle int64) {
 // full response queue blocks the pipe head: back pressure from the
 // response path throttles the L2.
 func (p *Partition) completeHits(cycle int64) {
-	for len(p.hitPipe) > 0 && p.hitPipe[0].doneAt <= cycle {
-		op := p.hitPipe[0]
+	for {
+		op, ok := p.hitPipe.Peek()
+		if !ok || op.doneAt > cycle {
+			return
+		}
 		if !p.respQ.Push(op.pkt) {
 			p.stats.StallRespQ++
 			return
 		}
 		p.svcLatency.Add(float64(cycle - op.pkt.ReadyAt)) // ReadyAt reused as arrival mark
-		p.hitPipe = p.hitPipe[1:]
+		p.hitPipe.Pop()
 	}
 }
 
 // completeFills retires finished fills: the line becomes valid, the
 // MSHR entry releases, and one response per merged load is staged.
 func (p *Partition) completeFills(cycle int64) {
-	for len(p.fillPipe) > 0 && p.fillPipe[0].doneAt <= cycle {
-		if len(p.pendingResp) > 0 {
+	for {
+		op, ok := p.fillPipe.Peek()
+		if !ok || op.doneAt > cycle {
+			return
+		}
+		if p.pendingResp.Len() > 0 {
 			return // previous fill's responses still draining
 		}
-		op := p.fillPipe[0]
-		p.fillPipe = p.fillPipe[1:]
+		p.fillPipe.Pop()
 		line := op.fill.LineAddr()
 		reqs := p.mshr.Release(line)
 		dirty := false
@@ -221,41 +254,50 @@ func (p *Partition) completeFills(cycle int64) {
 		p.l2.Fill(line, cycle, dirty)
 		for _, r := range reqs {
 			if r.Kind != mem.Load {
+				// Stores die at fill time: the written line is now
+				// valid and dirty, no response travels upstream.
+				p.pool.PutRequest(r)
 				continue
 			}
-			p.pendingResp = append(p.pendingResp, &mem.Packet{
+			pkt := p.pool.GetPacket()
+			*pkt = mem.Packet{
 				Req: r, IsResponse: true, Src: p.id, Dst: r.CoreID,
 				SizeBytes: mem.ResponsePacketBytes(r),
-			})
+			}
+			p.pendingResp.Push(pkt)
 		}
+		// The fetch request made the DRAM round trip on behalf of the
+		// MSHR entry; the fill was its last act.
+		p.pool.PutRequest(op.fill)
 	}
 }
 
 // drainPendingResp moves one fill-generated response into the response
 // queue per cycle.
 func (p *Partition) drainPendingResp() {
-	if len(p.pendingResp) == 0 {
+	pkt, ok := p.pendingResp.Peek()
+	if !ok {
 		return
 	}
-	if !p.respQ.Push(p.pendingResp[0]) {
+	if !p.respQ.Push(pkt) {
 		p.stats.StallRespQ++
 		return
 	}
-	p.pendingResp = p.pendingResp[1:]
+	p.pendingResp.Pop()
 }
 
 // startFill begins moving a returned DRAM line into the array. Fills
 // take priority over new accesses for bank allocation, as in
 // GPGPU-Sim.
 func (p *Partition) startFill(cycle int64) {
-	if len(p.pendingResp) > 0 {
+	if p.pendingResp.Len() > 0 {
 		return // finish distributing the previous fill first
 	}
 	req, ok := p.retQ.Peek()
 	if !ok {
 		return
 	}
-	if len(p.fillPipe) >= p.cfg.L2.DRAMReturnQueue {
+	if p.fillPipe.Len() >= p.cfg.L2.DRAMReturnQueue {
 		p.stats.FillStalls++
 		return
 	}
@@ -266,7 +308,7 @@ func (p *Partition) startFill(cycle int64) {
 	}
 	p.retQ.Pop()
 	p.bankBusyUntil[bank] = cycle + p.portCycles
-	p.fillPipe = append(p.fillPipe, pipeOp{doneAt: cycle + p.portCycles, fill: req})
+	p.fillPipe.Push(pipeOp{doneAt: cycle + p.portCycles, fill: req})
 }
 
 // processAccesses consumes up to banks-per-partition requests from the
@@ -292,6 +334,8 @@ func (p *Partition) processAccesses(cycle int64) {
 				// traffic (stores are fire-and-forget from the L1).
 				p.l2.Lookup(line, true, cycle)
 				p.accessQ.Pop()
+				p.pool.PutRequest(req) // store retires here
+				p.pool.PutPacket(pkt)
 				p.stats.Accesses++
 				p.stats.Hits++
 				continue
@@ -301,14 +345,15 @@ func (p *Partition) processAccesses(cycle int64) {
 				p.stats.StallBankBusy++
 				return
 			}
-			if len(p.hitPipe) >= p.cfg.L2.ResponseQueue {
+			if p.hitPipe.Len() >= p.cfg.L2.ResponseQueue {
 				// Pipeline registers exhausted (response path backed
 				// up): stop accepting hits.
 				p.stats.StallRespQ++
 				return
 			}
 			p.l2.Lookup(line, false, cycle)
-			rp := &mem.Packet{
+			rp := p.pool.GetPacket()
+			*rp = mem.Packet{
 				Req: req, IsResponse: true, Src: p.id, Dst: req.CoreID,
 				SizeBytes: mem.ResponsePacketBytes(req),
 				// ReadyAt doubles as the arrival mark for service
@@ -316,8 +361,9 @@ func (p *Partition) processAccesses(cycle int64) {
 				ReadyAt: cycle,
 			}
 			p.bankBusyUntil[bank] = cycle + p.portCycles
-			p.hitPipe = append(p.hitPipe, pipeOp{doneAt: cycle + p.cfg.L2.HitLatency + p.portCycles, pkt: rp})
+			p.hitPipe.Push(pipeOp{doneAt: cycle + p.cfg.L2.HitLatency + p.portCycles, pkt: rp})
 			p.accessQ.Pop()
+			p.pool.PutPacket(pkt)
 			p.stats.Accesses++
 			p.stats.Hits++
 
@@ -331,6 +377,7 @@ func (p *Partition) processAccesses(cycle int64) {
 				panic(fmt.Sprintf("l2: expected MSHR merge, got %v", res))
 			}
 			p.accessQ.Pop()
+			p.pool.PutPacket(pkt)
 			p.stats.Accesses++
 			p.stats.MSHRMerges++
 
@@ -359,22 +406,26 @@ func (p *Partition) processAccesses(cycle int64) {
 			}
 			if evicted && victim.Dirty {
 				*p.nextID++
-				p.missQ.Push(&mem.Request{
+				wb := p.pool.GetRequest()
+				*wb = mem.Request{
 					ID: *p.nextID, Addr: victim.Addr, LineSize: uint64(p.cfg.L2.LineSize),
 					Kind: mem.Writeback, CoreID: -1, WarpID: -1, PartitionID: p.id,
 					IssueCycle: cycle,
-				})
+				}
+				p.missQ.Push(wb)
 				p.stats.Writebacks++
 			}
 			// The fetch is always a read, even for store misses
 			// (write-allocate); the stored data merges at fill time.
-			fetch := &mem.Request{
+			fetch := p.pool.GetRequest()
+			*fetch = mem.Request{
 				ID: req.ID, Addr: line, LineSize: req.LineSize,
 				Kind: mem.Load, CoreID: req.CoreID, WarpID: req.WarpID,
 				PartitionID: p.id, IssueCycle: cycle,
 			}
 			p.missQ.Push(fetch)
 			p.accessQ.Pop()
+			p.pool.PutPacket(pkt)
 			p.stats.Accesses++
 			p.stats.Misses++
 		}

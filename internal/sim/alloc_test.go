@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// TestSteadyStateAllocations guards the allocation-free hot path: once
+// a simulation reaches steady state (free lists populated, rings and
+// scratch buffers at their high-water marks), the per-cycle loop must
+// allocate almost nothing. The budgets below are deliberately tight —
+// roughly 3 allocations per 1000 cycles, against ~2000/1k cycles
+// before the free-list work — so a single forgotten recycle point or
+// a new per-instruction allocation fails the test immediately.
+func TestSteadyStateAllocations(t *testing.T) {
+	const (
+		warmup = 6000 // cycles to reach steady state
+		window = 1000 // measured span
+		budget = 3.0  // allowed allocations per window
+	)
+	cases := []struct {
+		name  string
+		fixed bool
+	}{
+		{"full-hierarchy", false},
+		{"fixed-latency", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wl, err := workload.ByName("sc")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := config.GTX480Baseline()
+			if tc.fixed {
+				cfg.FixedLatency = config.FixedLatencyConfig{Enabled: true, Cycles: 200}
+			}
+			g, err := New(cfg, wl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.Run(warmup)
+			avg := testing.AllocsPerRun(5, func() { g.Run(window) })
+			if avg > budget {
+				t.Errorf("steady-state allocations: %.1f per %d cycles, budget %.1f", avg, window, budget)
+			}
+		})
+	}
+}

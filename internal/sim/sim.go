@@ -3,6 +3,31 @@
 // four clock domains. It also provides the Fig. 1 apparatus: a
 // fixed-latency, infinite-bandwidth memory backend that replaces the
 // hierarchy below the L1.
+//
+// # Hot-path invariants
+//
+// The per-cycle loop is engineered to allocate nothing in steady
+// state and to skip quiescent components:
+//
+//   - All mem.Request and mem.Packet values are drawn from one
+//     per-GPU free-list pool (mem.Pool) and recycled at their
+//     retirement points; see the pool's ownership protocol.
+//   - Each component exposes a quiescence fast path: an SM with no
+//     in-flight work and no issuable warp freezes until a response
+//     arrives (core.SM.Quiescent), a partition or DRAM channel with
+//     empty queues and pipes reduces its tick to occupancy samples,
+//     and a crossbar with no buffered or in-transfer packets skips
+//     arbitration.
+//   - Skipped cycles account the exact statistics a full tick would
+//     have produced (cycle counters, stall counters, zero-occupancy
+//     queue samples), so reports are byte-identical with and without
+//     skipping. In fixed-latency mode, when every SM is quiescent the
+//     GPU fast-forwards whole spans of cycles to the next scheduled
+//     response delivery in O(1) (Run).
+//
+// Determinism is unaffected: a GPU instance owns all of its state, so
+// reports are bit-identical at any experiment-engine parallelism, and
+// golden-output tests (internal/exp/testdata) pin the exact bytes.
 package sim
 
 import (
@@ -14,6 +39,7 @@ import (
 	"repro/internal/icnt"
 	"repro/internal/l2"
 	"repro/internal/mem"
+	"repro/internal/queue"
 	"repro/internal/workload"
 )
 
@@ -26,6 +52,7 @@ type GPU struct {
 	reqX  *icnt.Crossbar
 	respX *icnt.Crossbar
 	fixed *fixedBackend // non-nil in Fig. 1 mode
+	pool  *mem.Pool     // request/packet free lists shared by every component
 
 	addrMap dram.AddrMap
 	nextID  uint64
@@ -49,7 +76,8 @@ func New(cfg config.Config, wl workload.Workload) (*GPU, error) {
 			wl.Name(), wl.WarpsPerSM(), cfg.Core.MaxWarpsPerSM)
 	}
 	g := &GPU{
-		cfg: cfg,
+		cfg:  cfg,
+		pool: mem.NewPool(),
 		addrMap: dram.NewAddrMap(cfg.L2.LineSize, cfg.L2.Partitions,
 			cfg.DRAM.RowBytes, cfg.DRAM.BanksPerChip),
 	}
@@ -66,6 +94,7 @@ func New(cfg config.Config, wl workload.Workload) (*GPU, error) {
 		g.parts = make([]*l2.Partition, cfg.L2.Partitions)
 		for i := range g.parts {
 			g.parts[i] = l2.New(i, cfg, g.respX, &g.nextID)
+			g.parts[i].UsePool(g.pool)
 		}
 		g.reqX = icnt.New(icnt.Config{
 			Inputs: cfg.Core.NumSMs, Outputs: cfg.L2.Partitions,
@@ -88,6 +117,7 @@ func New(cfg config.Config, wl workload.Workload) (*GPU, error) {
 			backend = realBackend{g, i}
 		}
 		g.sms[i] = core.NewSM(i, cfg, streams, backend, &g.nextID)
+		g.sms[i].UsePool(g.pool)
 	}
 	return g, nil
 }
@@ -112,11 +142,16 @@ type realBackend struct {
 func (b realBackend) SendMiss(req *mem.Request) bool {
 	part := b.g.addrMap.Partition(req.LineAddr())
 	req.PartitionID = part
-	pkt := &mem.Packet{
+	pkt := b.g.pool.GetPacket()
+	*pkt = mem.Packet{
 		Req: req, Src: b.sm, Dst: part,
 		SizeBytes: mem.RequestPacketBytes(req),
 	}
-	return b.g.reqX.Push(b.sm, pkt)
+	if !b.g.reqX.Push(b.sm, pkt) {
+		b.g.pool.PutPacket(pkt) // input buffer full: retry next cycle
+		return false
+	}
+	return true
 }
 
 // fixedBackend answers every L1 load miss after exactly latency core
@@ -128,39 +163,70 @@ type fixedBackend struct {
 	gpu     *GPU
 	// pending is a per-SM FIFO of scheduled deliveries (constant
 	// latency keeps each FIFO sorted by ReadyAt).
-	pending [][]*mem.Packet
+	pending []queue.Ring[*mem.Packet]
+	// inflight counts undelivered responses across all FIFOs.
+	inflight int
 }
 
 // SendMiss implements core.Backend; it never back-pressures.
 func (b *fixedBackend) SendMiss(req *mem.Request) bool {
 	if req.Kind != mem.Load {
+		// Stores vanish here: this call is the request's last
+		// reference (the L1 forwards stores without MSHR tracking).
+		b.gpu.pool.PutRequest(req)
 		return true
 	}
 	if b.pending == nil {
-		b.pending = make([][]*mem.Packet, len(b.gpu.sms))
+		b.pending = make([]queue.Ring[*mem.Packet], len(b.gpu.sms))
 	}
-	pkt := &mem.Packet{
+	pkt := b.gpu.pool.GetPacket()
+	*pkt = mem.Packet{
 		Req: req, IsResponse: true, Dst: req.CoreID,
 		SizeBytes: mem.ResponsePacketBytes(req),
 		ReadyAt:   b.gpu.coreCycle + b.latency,
 	}
-	b.pending[req.CoreID] = append(b.pending[req.CoreID], pkt)
+	b.pending[req.CoreID].Push(pkt)
+	b.inflight++
 	return true
 }
 
 // tick delivers every due response (unlimited bandwidth); a full SM
 // response queue retries next cycle.
 func (b *fixedBackend) tick(cycle int64) {
+	if b.inflight == 0 {
+		return
+	}
 	for smID := range b.pending {
-		q := b.pending[smID]
-		for len(q) > 0 && q[0].ReadyAt <= cycle {
-			if !b.gpu.sms[smID].DeliverResponse(q[0]) {
+		q := &b.pending[smID]
+		for {
+			pkt, ok := q.Peek()
+			if !ok || pkt.ReadyAt > cycle {
 				break
 			}
-			q = q[1:]
+			if !b.gpu.sms[smID].DeliverResponse(pkt) {
+				break
+			}
+			q.Pop()
+			b.inflight--
 		}
-		b.pending[smID] = q
 	}
+}
+
+// nextReady returns the earliest scheduled delivery cycle across all
+// pending FIFOs, or ok=false when nothing is in flight. Each FIFO is
+// sorted by ReadyAt (constant latency), so only heads are inspected.
+func (b *fixedBackend) nextReady() (int64, bool) {
+	if b.inflight == 0 {
+		return 0, false
+	}
+	var min int64
+	found := false
+	for i := range b.pending {
+		if pkt, ok := b.pending[i].Peek(); ok && (!found || pkt.ReadyAt < min) {
+			min, found = pkt.ReadyAt, true
+		}
+	}
+	return min, found
 }
 
 // Step advances the system by one core clock cycle, ticking the other
@@ -196,11 +262,42 @@ func (g *GPU) Step() {
 	g.coreCycle++
 }
 
-// Run advances the system by n core cycles.
+// Run advances the system by n core cycles. In fixed-latency mode it
+// fast-forwards spans where every SM is quiescent: nothing can happen
+// before the earliest scheduled response delivery, so the skipped
+// cycles are accounted in O(1) per SM (core.SM.SkipIdle) with stats
+// identical to stepping through them.
 func (g *GPU) Run(n int64) {
-	for i := int64(0); i < n; i++ {
+	end := g.coreCycle + n
+	for g.coreCycle < end {
+		if g.fixed != nil && g.allSMsQuiescent() {
+			skipTo := end
+			if next, ok := g.fixed.nextReady(); ok && next < skipTo {
+				// Deliveries happen in the Step at cycle `next`;
+				// cycles up to it are pure idle ticks.
+				skipTo = next
+			}
+			if skip := skipTo - g.coreCycle; skip > 0 {
+				for _, sm := range g.sms {
+					sm.SkipIdle(skip)
+				}
+				g.coreCycle += skip
+				continue
+			}
+		}
 		g.Step()
 	}
+}
+
+// allSMsQuiescent reports whether every SM is in the frozen idle
+// state (no in-flight work, no issuable warp).
+func (g *GPU) allSMsQuiescent() bool {
+	for _, sm := range g.sms {
+		if !sm.Quiescent() {
+			return false
+		}
+	}
+	return true
 }
 
 // Cycle returns the current core cycle.

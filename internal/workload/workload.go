@@ -186,6 +186,13 @@ type stream struct {
 	accesses    uint64
 	hotCursor   uint64
 	computeLeft int
+
+	// lanesBuf and linesBuf are reused across Next calls (the
+	// InstrStream contract lets a stream invalidate the previous
+	// instruction's Lanes on the next call), so the steady-state
+	// instruction feed allocates nothing.
+	lanesBuf [32]uint64
+	linesBuf []uint64
 }
 
 // Next implements core.InstrStream.
@@ -199,12 +206,13 @@ func (g *stream) Next() core.Instr {
 	var lines []uint64
 	if g.spec.HitFrac > 0 && g.rng.Float64() < g.spec.HitFrac {
 		g.hotCursor++
-		lines = []uint64{g.hotBase + (g.hotCursor%hotWindowLines)*g.lineSize}
+		g.linesBuf = append(g.linesBuf[:0], g.hotBase+(g.hotCursor%hotWindowLines)*g.lineSize)
+		lines = g.linesBuf
 		store = false // hot-window traffic models read-mostly state
 	} else {
 		lines = g.nextLines()
 	}
-	lanes := make([]uint64, 32)
+	lanes := g.lanesBuf[:]
 	n := uint64(len(lines))
 	for i := range lanes {
 		lanes[i] = lines[uint64(i)%n] + uint64(i)*4%g.lineSize
@@ -225,11 +233,15 @@ func (g *stream) nextComputeGap() int {
 	return gap
 }
 
-// nextLines produces the distinct line addresses of one warp access.
+// nextLines produces the distinct line addresses of one warp access
+// into the stream's reused line buffer.
 func (g *stream) nextLines() []uint64 {
 	k := g.spec.LinesPerAccess
 	ws := uint64(g.spec.WorkingSetLines)
-	out := make([]uint64, k)
+	if cap(g.linesBuf) < k {
+		g.linesBuf = make([]uint64, k)
+	}
+	out := g.linesBuf[:k]
 	g.accesses++
 	switch g.spec.AccessPattern {
 	case Streaming:
@@ -261,17 +273,21 @@ func (g *stream) nextLines() []uint64 {
 			out[i] = g.lineAddr((center + uint64(i)) % ws)
 		}
 	case Gather:
-		seen := map[uint64]bool{}
+		// Rejection-sample distinct line indices. The duplicate check
+		// scans the lines already drawn (k <= 32), which consumes the
+		// RNG exactly like the historical set-based implementation.
 		for i := range out {
-			var idx uint64
+		draw:
 			for {
-				idx = g.rng.Uint64N(ws)
-				if !seen[idx] {
-					seen[idx] = true
-					break
+				idx := g.lineAddr(g.rng.Uint64N(ws))
+				for _, prev := range out[:i] {
+					if prev == idx {
+						continue draw
+					}
 				}
+				out[i] = idx
+				break
 			}
-			out[i] = g.lineAddr(idx)
 		}
 	default:
 		panic(fmt.Sprintf("workload: unknown pattern %q", g.spec.AccessPattern))
