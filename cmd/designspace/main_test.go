@@ -1,0 +1,28 @@
+package main_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clitest"
+)
+
+// TestDesignspaceSmoke: the binary builds, evaluates one scaling set
+// on a tiny window, exits 0 and prints the speedup table.
+func TestDesignspaceSmoke(t *testing.T) {
+	bin := clitest.Build(t, "repro/cmd/designspace")
+	out, _ := clitest.Run(t, bin, "-sets", "l2", "-warmup", "100", "-window", "300", "-j", "2")
+	if !strings.Contains(out, "average") || len(out) < 100 {
+		t.Fatalf("unexpected designspace output:\n%s", out)
+	}
+}
+
+// TestDesignspaceTable: -table renders Table I without running any
+// simulation.
+func TestDesignspaceTable(t *testing.T) {
+	bin := clitest.Build(t, "repro/cmd/designspace")
+	out, _ := clitest.Run(t, bin, "-table")
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "scaled") {
+		t.Fatalf("unexpected Table I output:\n%s", out)
+	}
+}

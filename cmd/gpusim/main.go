@@ -4,9 +4,18 @@
 // concurrently on the experiment engine's worker pool (-j), and the
 // reports print in the order given.
 //
+// Workloads come from three sources: built-in benchmarks and
+// scenarios (-workload), user-defined JSON specs (-workload-file, one
+// spec object or an array; see the README's "Defining your own
+// workload"), or a recorded trace (-trace). The trace source is
+// exclusive: a trace pins its own instruction streams, so combining
+// it with -workload or -workload-file is an error rather than a
+// silent ignore.
+//
 // Usage:
 //
 //	gpusim [-workload sc | -workload sc,lbm,cfd] [-j N]
+//	       [-workload-file specs.json] [-trace foo.trace]
 //	       [-scale baseline|l1|l2|dram|l1l2|l2dram|all]
 //	       [-warmup 6000] [-window 20000] [-fixed-latency -1]
 //	       [-config file.json] [-dump-config] [-seed 1]
@@ -18,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -27,7 +37,8 @@ import (
 
 func main() {
 	var (
-		wlName   = flag.String("workload", "sc", "comma-separated benchmark names (from: cfd dwt2d leukocyte nn nw sc lbm ss)")
+		wlName   = flag.String("workload", "sc", "comma-separated built-in workloads (benchmarks cfd dwt2d leukocyte nn nw sc lbm ss; scenarios kmeans bfs histo dct8x8)")
+		wlFile   = flag.String("workload-file", "", "also run the user-defined JSON workload spec(s) in this file")
 		jobs     = flag.Int("j", 0, "parallel simulations when several workloads are given (0 = all cores)")
 		scale    = flag.String("scale", "baseline", "Table I scaling set: baseline|l1|l2|dram|l1l2|l2dram|all")
 		warmup   = flag.Int64("warmup", 6000, "warm-up cycles before measurement")
@@ -71,25 +82,62 @@ func main() {
 		return
 	}
 
+	// -workload has a default, so only flag.Visit can tell whether the
+	// user actually asked for built-in workloads.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
 	var wls []gpgpumem.Workload
-	if *tracePth != "" {
+	switch {
+	case *tracePth != "":
+		// A trace replays its own recorded streams; mixing it with
+		// generated workloads was silently ignoring them.
+		if explicit["workload"] || explicit["workload-file"] {
+			fatal(fmt.Errorf("-trace replays recorded streams and cannot be combined with -workload or -workload-file"))
+		}
 		f, err := os.Open(*tracePth)
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
-		wl, err := gpgpumem.ParseTrace(*tracePth, f)
+		// Reports label the job by the file's basename, not the path.
+		tr, err := gpgpumem.ParseTrace(filepath.Base(*tracePth), f)
 		if err != nil {
 			fatal(err)
 		}
-		wls = append(wls, wl)
-	} else {
-		for _, name := range strings.Split(*wlName, ",") {
-			wl, err := gpgpumem.WorkloadByName(strings.TrimSpace(name))
+		verified, err := tr.CheckLineSize(cfg.LineSize())
+		if err != nil {
+			fatal(err)
+		}
+		if !verified {
+			fmt.Fprintf(os.Stderr, "gpusim: note: %s has no header; recorded line size unverified against the config's %d\n",
+				filepath.Base(*tracePth), cfg.LineSize())
+		}
+		wls = append(wls, tr)
+	default:
+		// Built-ins run when asked for explicitly, or as the default
+		// when no spec file is given either.
+		if explicit["workload"] || *wlFile == "" {
+			for _, name := range strings.Split(*wlName, ",") {
+				wl, err := gpgpumem.WorkloadByName(strings.TrimSpace(name))
+				if err != nil {
+					fatal(err)
+				}
+				wls = append(wls, wl)
+			}
+		}
+		if *wlFile != "" {
+			data, err := os.ReadFile(*wlFile)
 			if err != nil {
 				fatal(err)
 			}
-			wls = append(wls, wl)
+			specs, err := gpgpumem.ParseWorkloadSpecs(data)
+			if err != nil {
+				fatal(err)
+			}
+			for _, s := range specs {
+				wls = append(wls, s)
+			}
 		}
 	}
 	batch := make([]gpgpumem.Job, len(wls))

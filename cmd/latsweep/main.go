@@ -6,8 +6,13 @@
 //
 // Usage:
 //
-//	latsweep [-workloads cfd,sc] [-max 800] [-step 50]
+//	latsweep [-workloads cfd,sc] [-workload-file specs.json]
+//	         [-max 800] [-step 50]
 //	         [-warmup 6000] [-window 20000] [-j N] [-progress]
+//
+// -workload-file sweeps user-defined JSON workload specs (see the
+// README's "Defining your own workload"); given alone it replaces the
+// default suite, given with -workloads the file's specs are appended.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 func main() {
 	var (
 		wlList = flag.String("workloads", "", "comma-separated benchmarks (default: full Fig. 1 suite)")
+		wlFile = flag.String("workload-file", "", "sweep the user-defined JSON workload spec(s) in this file")
 		maxLat = flag.Int64("max", 800, "largest fixed latency swept")
 		step   = flag.Int64("step", 50, "latency step")
 		warmup = flag.Int64("warmup", 6000, "warm-up cycles")
@@ -34,8 +40,10 @@ func main() {
 	flag.Parse()
 
 	suite := gpgpumem.Suite()
-	if *wlList != "" {
+	if *wlList != "" || *wlFile != "" {
 		suite = nil
+	}
+	if *wlList != "" {
 		for _, name := range strings.Split(*wlList, ",") {
 			wl, err := gpgpumem.WorkloadByName(strings.TrimSpace(name))
 			if err != nil {
@@ -43,6 +51,21 @@ func main() {
 				os.Exit(1)
 			}
 			suite = append(suite, wl)
+		}
+	}
+	if *wlFile != "" {
+		data, err := os.ReadFile(*wlFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "latsweep:", err)
+			os.Exit(1)
+		}
+		specs, err := gpgpumem.ParseWorkloadSpecs(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "latsweep:", err)
+			os.Exit(1)
+		}
+		for _, s := range specs {
+			suite = append(suite, s)
 		}
 	}
 	var lats []int64

@@ -1,0 +1,30 @@
+package main_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/clitest"
+)
+
+// TestLatsweepWorkloadFile: a user JSON spec sweeps through the real
+// binary; given alone it replaces the default suite.
+func TestLatsweepWorkloadFile(t *testing.T) {
+	bin := clitest.Build(t, "repro/cmd/latsweep")
+	spec := filepath.Join(t.TempDir(), "spec.json")
+	specJSON := `{"name":"myk","warps":4,"dep_dist":1,"compute_per_mem":2,
+	  "access_pattern":"thrash","working_set_lines":4096,"lines_per_access":2,"shared":true}`
+	if err := os.WriteFile(spec, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := clitest.Run(t, bin, "-workload-file", spec,
+		"-max", "200", "-step", "200", "-warmup", "100", "-window", "300")
+	if !strings.Contains(out, "myk") {
+		t.Fatalf("spec missing from sweep:\n%s", out)
+	}
+	if strings.Contains(out, "cfd") {
+		t.Fatalf("-workload-file alone should replace the default suite:\n%s", out)
+	}
+}

@@ -1,0 +1,22 @@
+package main_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clitest"
+)
+
+// TestOccupancySmoke: the binary builds, runs the §III measurement on
+// a tiny window, exits 0 and prints the occupancy table.
+func TestOccupancySmoke(t *testing.T) {
+	bin := clitest.Build(t, "repro/cmd/occupancy")
+	out, _ := clitest.Run(t, bin, "-warmup", "100", "-window", "300", "-j", "2")
+	if !strings.Contains(out, "queue full-of-usage occupancy") || !strings.Contains(out, "average") {
+		t.Fatalf("unexpected occupancy output:\n%s", out)
+	}
+	csv, _ := clitest.Run(t, bin, "-warmup", "100", "-window", "300", "-csv")
+	if !strings.HasPrefix(csv, "bench,l2_access_full") {
+		t.Fatalf("unexpected CSV header:\n%s", csv)
+	}
+}

@@ -7,6 +7,11 @@
 // Usage:
 //
 //	tracegen -workload sc -sms 15 -instrs 2000 -o sc.trace
+//	tracegen -workload-file spec.json -sms 15 -instrs 2000
+//
+// The recorded file starts with a versioned header that pins the line
+// size the addresses were coalesced to; gpusim validates it against
+// the replay configuration.
 package main
 
 import (
@@ -21,7 +26,8 @@ import (
 
 func main() {
 	var (
-		wlName = flag.String("workload", "sc", "benchmark to record")
+		wlName = flag.String("workload", "sc", "built-in benchmark or scenario to record")
+		wlFile = flag.String("workload-file", "", "record the single JSON workload spec in this file instead of a built-in")
 		sms    = flag.Int("sms", 15, "number of SMs to record streams for")
 		n      = flag.Int("instrs", 2000, "instructions per warp")
 		out    = flag.String("o", "", "output file (default: <workload>.trace)")
@@ -29,19 +35,39 @@ func main() {
 	)
 	flag.Parse()
 
-	wl, err := workload.ByName(*wlName)
-	if err != nil {
+	explicitWorkload := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "workload" {
+			explicitWorkload = true
+		}
+	})
+	var wl workload.Workload
+	var err error
+	if *wlFile != "" {
+		if explicitWorkload {
+			fatal(fmt.Errorf("-workload and -workload-file are mutually exclusive"))
+		}
+		data, err := os.ReadFile(*wlFile)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err := workload.ParseSpec(data)
+		if err != nil {
+			fatal(err)
+		}
+		wl = spec
+	} else if wl, err = workload.ByName(*wlName); err != nil {
 		fatal(err)
 	}
 	path := *out
 	if path == "" {
-		path = *wlName + ".trace"
+		path = wl.Name() + ".trace"
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		fatal(err)
 	}
-	lineSize := uint64(gpgpumem.DefaultConfig().L1.LineSize)
+	lineSize := gpgpumem.DefaultConfig().LineSize()
 	if err := trace.Record(wl, *sms, *n, *seed, lineSize, f); err != nil {
 		f.Close()
 		fatal(err)
@@ -53,7 +79,7 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("recorded %d SMs × %d warps × %d instrs of %s to %s\n",
-		*sms, wl.WarpsPerSM(), *n, *wlName, path)
+		*sms, wl.WarpsPerSM(), *n, wl.Name(), path)
 }
 
 func fatal(err error) {

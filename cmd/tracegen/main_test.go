@@ -1,0 +1,53 @@
+package main_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/clitest"
+)
+
+// TestTracegenSmoke: the binary builds, records a tiny trace, exits 0,
+// and the file starts with the versioned metadata header.
+func TestTracegenSmoke(t *testing.T) {
+	bin := clitest.Build(t, "repro/cmd/tracegen")
+	out := filepath.Join(t.TempDir(), "sc.trace")
+	stdout, _ := clitest.Run(t, bin, "-workload", "sc", "-sms", "1", "-instrs", "50", "-o", out)
+	if !strings.Contains(stdout, "recorded") {
+		t.Fatalf("unexpected tracegen output:\n%s", stdout)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || !strings.HasPrefix(string(data), "H 1 128 ") {
+		t.Fatalf("trace missing header, starts: %.40q", string(data))
+	}
+}
+
+// TestTracegenWorkloadFile: a user JSON spec records like a built-in,
+// and combining -workload with -workload-file is rejected.
+func TestTracegenWorkloadFile(t *testing.T) {
+	bin := clitest.Build(t, "repro/cmd/tracegen")
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	specJSON := `{"name":"myk","warps":2,"dep_dist":1,"compute_per_mem":2,
+	  "access_pattern":"streaming","working_set_lines":64,"lines_per_access":1}`
+	if err := os.WriteFile(spec, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "myk.trace")
+	stdout, _ := clitest.Run(t, bin, "-workload-file", spec, "-sms", "1", "-instrs", "20", "-o", out)
+	if !strings.Contains(stdout, "myk") {
+		t.Fatalf("spec name missing from output:\n%s", stdout)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace not written: %v", err)
+	}
+	stderr := clitest.RunExpectError(t, bin, "-workload", "sc", "-workload-file", spec)
+	if !strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("unexpected conflict error: %s", stderr)
+	}
+}

@@ -86,8 +86,16 @@ func ConfigFromJSON(data []byte) (Config, error) { return config.FromJSON(data) 
 type Workload = workload.Workload
 
 // WorkloadSpec is a declarative synthetic-kernel model; it implements
-// Workload and is how custom workloads are built.
+// Workload and is how custom workloads are built. A spec with a
+// non-empty Phases slice alternates between per-phase knob sets
+// round-robin, modelling kernels whose memory behaviour shifts over
+// time.
 type WorkloadSpec = workload.Spec
+
+// WorkloadPhase is one phase of a multi-phase WorkloadSpec: its own
+// access pattern, working set, compute/memory mix and duration in
+// instructions.
+type WorkloadPhase = workload.PhaseSpec
 
 // Access patterns for WorkloadSpec.
 const (
@@ -96,28 +104,59 @@ const (
 	Stencil   = workload.Stencil
 	Gather    = workload.Gather
 	Thrash    = workload.Thrash
+	Hotset    = workload.Hotset
+	Transpose = workload.Transpose
 )
 
-// WorkloadByName returns one of the built-in benchmark models
-// (cfd, dwt2d, leukocyte, nn, nw, sc, lbm, ss).
+// WorkloadByName returns one of the built-in benchmark models (cfd,
+// dwt2d, leukocyte, nn, nw, sc, lbm, ss) or multi-phase scenarios
+// (kmeans, bfs, histo, dct8x8).
 func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
 
-// WorkloadNames lists the built-in benchmarks.
+// WorkloadNames lists every registered built-in workload: the paper's
+// eight benchmarks plus the multi-phase scenarios. Use Suite for the
+// Fig. 1 benchmark suite alone.
 func WorkloadNames() []string { return workload.Names() }
 
 // Suite returns the paper's Fig. 1 benchmark suite in figure order.
 func Suite() []Workload { return workload.Suite() }
 
+// Scenarios returns the built-in multi-phase scenario specs in
+// reporting order (kmeans, bfs, histo, dct8x8).
+func Scenarios() []WorkloadSpec { return workload.Scenarios() }
+
+// ParseWorkloadSpec decodes one JSON-encoded WorkloadSpec and fully
+// validates it (the -workload-file format of cmd/gpusim and
+// cmd/latsweep; see the README's "Defining your own workload").
+func ParseWorkloadSpec(data []byte) (WorkloadSpec, error) { return workload.ParseSpec(data) }
+
+// ParseWorkloadSpecs decodes a single JSON WorkloadSpec object or a
+// JSON array of them, validating every spec.
+func ParseWorkloadSpecs(data []byte) ([]WorkloadSpec, error) { return workload.ParseSpecs(data) }
+
+// Trace is a parsed instruction trace; it implements Workload by
+// replaying the recorded streams (padding with ALU instructions once
+// exhausted) and carries the recording-parameter header.
+type Trace = trace.Trace
+
+// TraceHeader is the metadata line Record writes: the format version
+// and the parameters (line size, warps/SM) the recorded addresses
+// depend on.
+type TraceHeader = trace.Header
+
 // RecordTrace writes n instructions of every warp stream of wl for
 // the given number of SMs in the text trace format (cmd/tracegen's
-// output). lineSize should match the config the trace will run under.
+// output), preceded by a versioned header pinning lineSize. lineSize
+// should match the config the trace will run under.
 func RecordTrace(wl Workload, sms, n int, seed, lineSize uint64, w io.Writer) error {
 	return trace.Record(wl, sms, n, seed, lineSize, w)
 }
 
-// ParseTrace reads a recorded trace; the result is a Workload that
-// replays it (padding with ALU instructions once exhausted).
-func ParseTrace(name string, r io.Reader) (Workload, error) {
+// ParseTrace reads a recorded trace. Call Trace.CheckLineSize with the
+// replay config's line size before simulating: headered traces are
+// verified, legacy headerless traces replay with an unverified line
+// size.
+func ParseTrace(name string, r io.Reader) (*Trace, error) {
 	return trace.Parse(name, r)
 }
 
@@ -243,4 +282,20 @@ type DesignSpaceResult = exp.DesignSpaceResult
 // for each Table I scaling set.
 func RunDesignSpace(base Config, suite []Workload, sets []ScalingSet, p RunParams) (DesignSpaceResult, error) {
 	return exp.RunDesignSpace(base, suite, sets, p)
+}
+
+// ScenarioReport compares multi-phase scenarios against their
+// duration-weighted fixed-mix controls (WorkloadSpec.Flatten).
+type ScenarioReport = exp.ScenarioReport
+
+// ScenarioRow is one scenario-vs-control comparison of a
+// ScenarioReport.
+type ScenarioRow = exp.ScenarioRow
+
+// RunScenarioSweep measures every multi-phase scenario and its
+// flattened fixed-mix control on the base architecture (one batch on
+// the worker pool) and reports IPC and queue congestion side by side —
+// what the phase structure alone costs or buys.
+func RunScenarioSweep(base Config, scenarios []WorkloadSpec, p RunParams) (ScenarioReport, error) {
+	return exp.RunScenarioSweep(base, scenarios, p)
 }

@@ -1,0 +1,53 @@
+// Package clitest builds and runs the repository's command binaries
+// for CLI smoke tests: every cmd must build, run a tiny workload
+// window, exit 0 and produce non-empty output. The tests exercise the
+// real flag parsing and I/O paths the library-level tests cannot see.
+package clitest
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// Build compiles the import path (e.g. "repro/cmd/occupancy") into
+// t.TempDir and returns the binary path. It relies on the test
+// process running inside the module, which is how `go test` invokes
+// it.
+func Build(t *testing.T, importPath string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(importPath))
+	out, err := exec.Command("go", "build", "-o", bin, importPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build %s: %v\n%s", importPath, err, out)
+	}
+	return bin
+}
+
+// Run executes the binary and returns stdout; the test fails if the
+// command exits non-zero. stderr is returned too, for commands that
+// print notes there.
+func Run(t *testing.T, bin string, args ...string) (stdout, stderr string) {
+	t.Helper()
+	var o, e bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout, cmd.Stderr = &o, &e
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstdout:\n%s\nstderr:\n%s", bin, args, err, o.String(), e.String())
+	}
+	return o.String(), e.String()
+}
+
+// RunExpectError executes the binary expecting a non-zero exit, and
+// returns stderr for message assertions.
+func RunExpectError(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	var e bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = &e
+	if err := cmd.Run(); err == nil {
+		t.Fatalf("%s %v: expected non-zero exit", bin, args)
+	}
+	return e.String()
+}

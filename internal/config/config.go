@@ -387,6 +387,11 @@ func (c Config) Validate() error {
 
 func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
 
+// LineSize is the hierarchy's cache-line size in bytes (Validate
+// enforces L1 and L2 agree). Workload streams, the address coalescer
+// and trace headers all key off this one value.
+func (c Config) LineSize() uint64 { return uint64(c.L1.LineSize) }
+
 // ToJSON renders the config as indented JSON. (Deliberately not named
 // MarshalText: implementing encoding.TextMarshaler would change how
 // encoding/json serializes Config.)

@@ -66,6 +66,30 @@ func TestGoldenGpusimReport(t *testing.T) {
 	}
 }
 
+// TestGoldenGpusimKmeansReport pins one multi-phase scenario the same
+// way the single-phase suite is pinned: the kmeans report must stay
+// byte-identical at serial and parallel worker counts.
+func TestGoldenGpusimKmeansReport(t *testing.T) {
+	want := readGolden(t, "gpusim-kmeans.golden")
+	wl, err := workload.ByName("kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := []workload.Workload{wl}
+	cfg := config.GTX480Baseline()
+	for _, j := range []int{1, 4} {
+		p := goldenParams(j)
+		res, err := run([]runner.Job{job(cfg, wl, p)}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := BatchReport("baseline", p.WarmupCycles, p.WindowCycles, suite, res)
+		if got != want {
+			t.Errorf("j=%d: kmeans report drifted from golden:\n got:\n%s\nwant:\n%s", j, got, want)
+		}
+	}
+}
+
 func TestGoldenLatsweepReport(t *testing.T) {
 	want := readGolden(t, "latsweep-sc-cfd.golden")
 	suite := goldenSuite(t)

@@ -18,7 +18,13 @@ func TestSteadyStateAllocations(t *testing.T) {
 	const (
 		warmup = 6000 // cycles to reach steady state
 		window = 1000 // measured span
-		budget = 3.0  // allowed allocations per window
+		// A window usually allocates <= 3 times, but a late
+		// high-water-mark growth (a ring or tracker reaching a new
+		// maximum after warmup) occasionally adds one more; 5 keeps the
+		// gate deterministic while still failing instantly on any
+		// per-instruction allocation (~2000 per window before the
+		// free-list work).
+		budget = 5.0
 	)
 	cases := []struct {
 		name  string

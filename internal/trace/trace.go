@@ -4,12 +4,22 @@
 // let experiments rerun bit-identical instruction streams without the
 // generator.
 //
-// Format, one instruction per line, per-warp sections:
+// Format, a metadata header then one instruction per line, in
+// per-warp sections:
 //
+//	H <version> <lineSize> <warps>
 //	W <sm> <warp>
 //	A                 # ALU instruction
 //	L <dep> <line...> # load: dependency distance, hex line addresses
 //	S <line...>       # store: hex line addresses
+//
+// The header pins the recording parameters the instruction lines
+// depend on: addresses are coalesced to <lineSize>-byte lines at
+// record time, so replaying under a different line size would
+// silently mis-model every access — consumers must check the header
+// against the replay configuration (Trace.CheckLineSize). Traces
+// written before the header existed still parse; they just cannot be
+// verified.
 package trace
 
 import (
@@ -23,10 +33,28 @@ import (
 	"repro/internal/workload"
 )
 
+// FormatVersion is the trace format version Record writes.
+const FormatVersion = 1
+
+// Header is the trace metadata line: the parameters the recorded
+// addresses depend on.
+type Header struct {
+	// Version is the format version (FormatVersion).
+	Version int
+	// LineSize is the cache-line size, in bytes, the recorded
+	// addresses were coalesced to.
+	LineSize uint64
+	// Warps is the per-SM warp count of the recorded workload.
+	Warps int
+}
+
 // Record writes n instructions of every warp stream of wl for the
-// given number of SMs to w.
+// given number of SMs to w, preceded by the versioned header.
 func Record(wl workload.Workload, sms int, n int, seed uint64, lineSize uint64, w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "H %d %d %d\n", FormatVersion, lineSize, wl.WarpsPerSM()); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
 	for sm := 0; sm < sms; sm++ {
 		for warp := 0; warp < wl.WarpsPerSM(); warp++ {
 			if _, err := fmt.Fprintf(bw, "W %d %d\n", sm, warp); err != nil {
@@ -72,19 +100,27 @@ func hexLines(lanes []uint64, lineSize uint64) string {
 
 // Trace is a parsed trace, replayable as a workload.
 type Trace struct {
-	name  string
-	warps int // warps per SM
+	name   string
+	warps  int // warps per SM
+	hdr    Header
+	hasHdr bool
 	// instrs[sm][warp] is that warp's recorded stream.
 	instrs map[int]map[int][]core.Instr
 }
 
-// Parse reads the Record format.
+// Parse reads the Record format. It rejects structurally corrupt
+// traces that would silently replay wrong: a duplicate `W <sm> <warp>`
+// section would overwrite the earlier stream, and a warp id missing
+// from an SM's sections would replay as an infinite ALU stream.
 func Parse(name string, r io.Reader) (*Trace, error) {
 	t := &Trace{name: name, instrs: map[int]map[int][]core.Instr{}}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var cur []core.Instr
 	curSM, curWarp := -1, -1
+	// sectionLine remembers where each (sm, warp) section started, for
+	// duplicate diagnostics.
+	sectionLine := map[[2]int]int{}
 	flush := func() {
 		if curSM < 0 {
 			return
@@ -105,6 +141,15 @@ func Parse(name string, r io.Reader) (*Trace, error) {
 			continue
 		}
 		switch fields[0] {
+		case "H":
+			if t.hasHdr || curSM >= 0 {
+				return nil, fmt.Errorf("trace: line %d: header must be the first record", lineNo)
+			}
+			hdr, err := parseHeader(fields)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			t.hdr, t.hasHdr = hdr, true
 		case "W":
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("trace: line %d: malformed warp header", lineNo)
@@ -115,10 +160,21 @@ func Parse(name string, r io.Reader) (*Trace, error) {
 			if err1 != nil || err2 != nil || sm < 0 || warp < 0 {
 				return nil, fmt.Errorf("trace: line %d: bad warp ids", lineNo)
 			}
+			if first, dup := sectionLine[[2]int{sm, warp}]; dup {
+				return nil, fmt.Errorf("trace: line %d: duplicate section W %d %d (first at line %d)",
+					lineNo, sm, warp, first)
+			}
+			sectionLine[[2]int{sm, warp}] = lineNo
 			curSM, curWarp, cur = sm, warp, nil
 		case "A":
+			if curSM < 0 {
+				return nil, fmt.Errorf("trace: line %d: instruction before any warp header", lineNo)
+			}
 			cur = append(cur, core.Instr{Kind: core.ALU})
 		case "L":
+			if curSM < 0 {
+				return nil, fmt.Errorf("trace: line %d: instruction before any warp header", lineNo)
+			}
 			if len(fields) < 3 {
 				return nil, fmt.Errorf("trace: line %d: load needs dep and addresses", lineNo)
 			}
@@ -132,6 +188,9 @@ func Parse(name string, r io.Reader) (*Trace, error) {
 			}
 			cur = append(cur, core.Instr{Kind: core.Mem, Lanes: lanes, DepDist: dep})
 		case "S":
+			if curSM < 0 {
+				return nil, fmt.Errorf("trace: line %d: instruction before any warp header", lineNo)
+			}
 			lanes, err := parseLines(fields[1:])
 			if err != nil {
 				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
@@ -148,7 +207,75 @@ func Parse(name string, r io.Reader) (*Trace, error) {
 	if len(t.instrs) == 0 {
 		return nil, fmt.Errorf("trace: empty trace")
 	}
+	if t.hasHdr {
+		if t.warps > t.hdr.Warps {
+			return nil, fmt.Errorf("trace: warp id %d outside the header's %d warps/SM",
+				t.warps-1, t.hdr.Warps)
+		}
+		t.warps = t.hdr.Warps
+	}
+	if err := t.checkComplete(); err != nil {
+		return nil, err
+	}
 	return t, nil
+}
+
+// parseHeader decodes `H <version> <lineSize> <warps>`.
+func parseHeader(fields []string) (Header, error) {
+	if len(fields) != 4 {
+		return Header{}, fmt.Errorf("malformed header (want H <version> <lineSize> <warps>)")
+	}
+	version, err := strconv.Atoi(fields[1])
+	if err != nil || version < 1 {
+		return Header{}, fmt.Errorf("bad header version %q", fields[1])
+	}
+	if version > FormatVersion {
+		return Header{}, fmt.Errorf("unsupported trace format version %d (this build reads <= %d)",
+			version, FormatVersion)
+	}
+	lineSize, err := strconv.ParseUint(fields[2], 10, 64)
+	if err != nil || lineSize == 0 {
+		return Header{}, fmt.Errorf("bad header line size %q", fields[2])
+	}
+	warps, err := strconv.Atoi(fields[3])
+	if err != nil || warps < 1 {
+		return Header{}, fmt.Errorf("bad header warp count %q", fields[3])
+	}
+	return Header{Version: version, LineSize: lineSize, Warps: warps}, nil
+}
+
+// checkComplete verifies the recorded SM ids are contiguous from 0
+// and every SM has a stream for each warp id 0..warps-1: replay.Next
+// pads a nil stream with infinite ALU instructions and Stream replays
+// SM 0 for any SM id not in the trace, so either kind of hole would
+// silently corrupt the replayed mix.
+func (t *Trace) checkComplete() error {
+	if _, ok := t.instrs[0]; !ok {
+		return fmt.Errorf("trace: no SM 0 sections; unrecorded SMs replay SM 0's streams, so it must exist")
+	}
+	maxSM := 0
+	for sm := range t.instrs {
+		if sm > maxSM {
+			maxSM = sm
+		}
+	}
+	if maxSM+1 != len(t.instrs) {
+		for sm := 0; sm <= maxSM; sm++ {
+			if _, ok := t.instrs[sm]; !ok {
+				return fmt.Errorf("trace: SM %d has no sections but SM %d does; "+
+					"the hole would silently replay SM 0's streams", sm, maxSM)
+			}
+		}
+	}
+	for sm, per := range t.instrs {
+		for warp := 0; warp < t.warps; warp++ {
+			if _, ok := per[warp]; !ok {
+				return fmt.Errorf("trace: SM %d is missing warp %d (trace has %d warps/SM); "+
+					"a sparse section would replay as an infinite ALU stream", sm, warp, t.warps)
+			}
+		}
+	}
+	return nil
 }
 
 func parseLines(fields []string) ([]uint64, error) {
@@ -161,6 +288,27 @@ func parseLines(fields []string) ([]uint64, error) {
 		lanes = append(lanes, v)
 	}
 	return lanes, nil
+}
+
+// Header returns the trace's metadata header, and whether the trace
+// had one (legacy traces predate it).
+func (t *Trace) Header() (Header, bool) { return t.hdr, t.hasHdr }
+
+// CheckLineSize validates the trace against a replay configuration's
+// cache-line size. It returns verified=true when the header pins a
+// matching line size, verified=false (and no error) for legacy
+// headerless traces — the caller should surface an "unverified line
+// size" note — and an error when the header contradicts the config.
+func (t *Trace) CheckLineSize(lineSize uint64) (verified bool, err error) {
+	if !t.hasHdr {
+		return false, nil
+	}
+	if t.hdr.LineSize != lineSize {
+		return false, fmt.Errorf("trace: %s was recorded at line size %d, replay config uses %d; "+
+			"addresses were coalesced at record time, so the replay would mis-model every access",
+			t.name, t.hdr.LineSize, lineSize)
+	}
+	return true, nil
 }
 
 // Name implements workload.Workload.

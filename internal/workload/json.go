@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ParseSpec decodes one JSON-encoded Spec and fully validates it.
+// Unknown fields are rejected, so a typo'd knob fails loudly instead
+// of silently running the default. The JSON field names are the
+// snake_case tags on Spec and PhaseSpec; see the README's "Defining
+// your own workload" section for a worked example.
+func ParseSpec(data []byte) (Spec, error) {
+	specs, err := ParseSpecs(data)
+	if err != nil {
+		return Spec{}, err
+	}
+	if len(specs) != 1 {
+		return Spec{}, fmt.Errorf("workload: expected one spec, file holds %d", len(specs))
+	}
+	return specs[0], nil
+}
+
+// ParseSpecs decodes either a single JSON Spec object or a JSON array
+// of them, validating every spec and rejecting unknown fields,
+// duplicate names and trailing data.
+func ParseSpecs(data []byte) ([]Spec, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var specs []Spec
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := dec.Decode(&specs); err != nil {
+			return nil, fmt.Errorf("workload: parse spec list: %w", err)
+		}
+		if len(specs) == 0 {
+			return nil, fmt.Errorf("workload: spec list is empty")
+		}
+	} else {
+		var s Spec
+		if err := dec.Decode(&s); err != nil {
+			return nil, fmt.Errorf("workload: parse spec: %w", err)
+		}
+		specs = []Spec{s}
+	}
+	if err := trailingData(dec); err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[s.SpecName] {
+			return nil, fmt.Errorf("workload: duplicate spec name %q", s.SpecName)
+		}
+		seen[s.SpecName] = true
+	}
+	return specs, nil
+}
+
+// ToJSON renders the spec as indented JSON in the ParseSpec format.
+func (s Spec) ToJSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// trailingData rejects garbage after the decoded JSON value.
+func trailingData(dec *json.Decoder) error {
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("workload: trailing data after spec")
+	}
+	return nil
+}

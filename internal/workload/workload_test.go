@@ -7,18 +7,22 @@ import (
 )
 
 func TestRegistryHasPaperSuite(t *testing.T) {
-	want := []string{"cfd", "dwt2d", "leukocyte", "nn", "nw", "sc", "lbm", "ss"}
-	for _, n := range want {
+	paper := []string{"cfd", "dwt2d", "leukocyte", "nn", "nw", "sc", "lbm", "ss"}
+	scenarios := []string{"kmeans", "bfs", "histo", "dct8x8"}
+	for _, n := range append(append([]string{}, paper...), scenarios...) {
 		if _, err := ByName(n); err != nil {
 			t.Errorf("missing benchmark %q: %v", n, err)
 		}
 	}
-	if len(Names()) != len(want) {
-		t.Errorf("registry has %d entries, want %d: %v", len(Names()), len(want), Names())
+	if want := len(paper) + len(scenarios); len(Names()) != want {
+		t.Errorf("registry has %d entries, want %d: %v", len(Names()), want, Names())
 	}
 	suite := Suite()
 	if len(suite) != 8 || suite[0].Name() != "cfd" || suite[7].Name() != "ss" {
 		t.Errorf("suite order wrong: %v", suiteNames(suite))
+	}
+	if got := Scenarios(); len(got) != len(scenarios) || len(got[0].Phases) == 0 {
+		t.Errorf("scenarios wrong: %v", got)
 	}
 }
 
@@ -97,21 +101,53 @@ func instrMix(s core.InstrStream, n int, lineSize uint64) (memN, storeN int, lin
 	return
 }
 
+// expectedMemFrac is the fraction of instructions that are memory
+// instructions a spec should produce: 1/(cpm+1) for a single phase,
+// the duration-weighted mean of that over the phases otherwise.
+func expectedMemFrac(spec Spec) float64 {
+	if len(spec.Phases) == 0 {
+		return 1.0 / float64(spec.ComputePerMem+1)
+	}
+	var total, frac float64
+	for _, p := range spec.Phases {
+		w := float64(p.Instructions)
+		total += w
+		frac += w / float64(p.ComputePerMem+1)
+	}
+	return frac / total
+}
+
+// expectedStoreFrac is the store fraction among memory instructions:
+// phases contribute in proportion to the memory instructions they
+// issue, not their total instruction count.
+func expectedStoreFrac(spec Spec) float64 {
+	if len(spec.Phases) == 0 {
+		return spec.StoreFrac
+	}
+	var mem, stores float64
+	for _, p := range spec.Phases {
+		m := float64(p.Instructions) / float64(p.ComputePerMem+1)
+		mem += m
+		stores += m * p.StoreFrac
+	}
+	return stores / mem
+}
+
 func TestMemoryIntensityMatchesSpec(t *testing.T) {
 	for _, name := range Names() {
 		wl, _ := ByName(name)
 		spec := wl.(Spec)
 		memN, storeN, _ := instrMix(wl.Stream(0, 0, 1, 128), 20000, 128)
-		wantFrac := 1.0 / float64(spec.ComputePerMem+1)
+		wantFrac := expectedMemFrac(spec)
 		gotFrac := float64(memN) / 20000
 		if gotFrac < wantFrac*0.7 || gotFrac > wantFrac*1.3 {
 			t.Errorf("%s: mem fraction %.3f, want ~%.3f", name, gotFrac, wantFrac)
 		}
-		if spec.StoreFrac > 0 {
+		if storeCeil := expectedStoreFrac(spec); storeCeil > 0 {
 			gotStore := float64(storeN) / float64(memN)
 			// The hot-window reuse fraction never stores, so the
 			// observed ratio is below the spec value.
-			ceiling := spec.StoreFrac * 1.4
+			ceiling := storeCeil * 1.4
 			if gotStore > ceiling {
 				t.Errorf("%s: store fraction %.3f above ceiling %.3f", name, gotStore, ceiling)
 			}
