@@ -1,0 +1,103 @@
+package main_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/clitest"
+)
+
+const baselineTxt = `goos: linux
+BenchmarkA   	1	100 ns/op	  2048 B/op	  12 allocs/op
+BenchmarkGone	1	500 ns/op	  1024 B/op	   5 allocs/op
+BenchmarkNoMem	1	300 ns/op
+`
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestBenchdiffFailAllocs: an allocs/op regression under -fail-allocs
+// exits non-zero with an ::error annotation; without the flag the same
+// comparison stays warn-only (exit 0).
+func TestBenchdiffFailAllocs(t *testing.T) {
+	bin := clitest.Build(t, "repro/cmd/benchdiff")
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baselineTxt)
+	cur := write(t, dir, "new.txt", `goos: linux
+BenchmarkA   	1	100 ns/op	  2048 B/op	  13 allocs/op
+BenchmarkGone	1	500 ns/op	  1024 B/op	   5 allocs/op
+BenchmarkNoMem	1	300 ns/op
+`)
+	out, _ := clitest.Run(t, bin, base, cur) // warn-only mode must not fail
+	if !strings.Contains(out, "12 -> 13") {
+		t.Fatalf("allocs delta missing from table:\n%s", out)
+	}
+	clitest.RunExpectError(t, bin, "-fail-allocs", base, cur)
+}
+
+// TestBenchdiffFailOnGoneBenchmark: under -fail-allocs a benchmark
+// that vanished from the new run fails the gate — a crashed bench run
+// truncates its output and must not read as a pass.
+func TestBenchdiffFailOnGoneBenchmark(t *testing.T) {
+	bin := clitest.Build(t, "repro/cmd/benchdiff")
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baselineTxt)
+	cur := write(t, dir, "new.txt", `goos: linux
+BenchmarkA   	1	100 ns/op	  2048 B/op	  12 allocs/op
+BenchmarkNoMem	1	300 ns/op
+`)
+	clitest.RunExpectError(t, bin, "-fail-allocs", base, cur)
+	// Warn-only mode keeps reporting it without failing.
+	out, _ := clitest.Run(t, bin, base, cur)
+	if !strings.Contains(out, "::warning title=benchmark gone::BenchmarkGone") {
+		t.Fatalf("gone benchmark not annotated in warn-only mode:\n%s", out)
+	}
+}
+
+// TestBenchdiffFailBytes: a B/op regression alone also trips the gate.
+func TestBenchdiffFailBytes(t *testing.T) {
+	bin := clitest.Build(t, "repro/cmd/benchdiff")
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baselineTxt)
+	cur := write(t, dir, "new.txt", `goos: linux
+BenchmarkA   	1	 90 ns/op	  4096 B/op	  12 allocs/op
+BenchmarkGone	1	500 ns/op	  1024 B/op	   5 allocs/op
+BenchmarkNoMem	1	300 ns/op
+`)
+	clitest.RunExpectError(t, bin, "-fail-allocs", base, cur)
+}
+
+// TestBenchdiffCleanPassesAndReportsSingletons: equal metrics pass the
+// gate even with -fail-allocs, a benchmark new in this run is reported
+// (not silently skipped) without failing the gate, and a benchmark
+// without -benchmem columns is flagged as not comparable rather than
+// ignored.
+func TestBenchdiffCleanPassesAndReportsSingletons(t *testing.T) {
+	bin := clitest.Build(t, "repro/cmd/benchdiff")
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baselineTxt)
+	cur := write(t, dir, "new.txt", `goos: linux
+BenchmarkA   	1	110 ns/op	  2048 B/op	  12 allocs/op
+BenchmarkGone	1	500 ns/op	  1024 B/op	   5 allocs/op
+BenchmarkFresh	1	 50 ns/op	   512 B/op	   1 allocs/op
+BenchmarkNoMem	1	300 ns/op
+`)
+	out, _ := clitest.Run(t, bin, "-fail-allocs", base, cur)
+	for _, want := range []string{
+		"BenchmarkFresh", "new",
+		"::warning title=benchmark only in new run::BenchmarkFresh",
+		"::warning title=allocs not comparable::BenchmarkNoMem",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

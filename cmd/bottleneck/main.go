@@ -1,0 +1,76 @@
+// Command bottleneck answers the paper's central question — which
+// level of the memory hierarchy stalled this workload, and for how
+// many cycles — as a per-workload stall stack: every issue slot of
+// the measurement window (cycles × SMs) attributed to one cause
+// (issue progress, scoreboard dependency, the SM's memory pipeline,
+// or a memory wait refined to the deepest saturated level: L1-miss
+// latency, interconnect, L2 access queue, DRAM scheduler queue).
+//
+// By default it sweeps the paper's benchmark suite followed by the
+// multi-phase scenarios, as one batch on the experiment engine's
+// worker pool (-j); the report is byte-identical at any parallelism.
+//
+// Usage:
+//
+//	bottleneck [-workloads sc,cfd,kmeans] [-j N]
+//	           [-scale baseline|l1|l2|dram|l1l2|l2dram|all]
+//	           [-warmup 6000] [-window 20000] [-seed 1] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	gpgpumem "repro"
+)
+
+func main() {
+	var (
+		wlNames = flag.String("workloads", "", "comma-separated workloads (default: the paper suite plus the multi-phase scenarios)")
+		jobs    = flag.Int("j", 0, "parallel simulations (0 = all cores)")
+		scale   = flag.String("scale", "baseline", "Table I scaling set: baseline|l1|l2|dram|l1l2|l2dram|all")
+		warmup  = flag.Int64("warmup", 6000, "warm-up cycles before measurement")
+		window  = flag.Int64("window", 20000, "measurement window in core cycles")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of the table")
+	)
+	flag.Parse()
+
+	set, err := gpgpumem.ParseScalingSet(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := set.Apply(gpgpumem.DefaultConfig())
+	cfg.Seed = *seed
+
+	var wls []gpgpumem.Workload
+	if *wlNames == "" {
+		wls = gpgpumem.DefaultBottleneckWorkloads()
+	} else {
+		for _, name := range strings.Split(*wlNames, ",") {
+			wl, err := gpgpumem.WorkloadByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			wls = append(wls, wl)
+		}
+	}
+
+	p := gpgpumem.RunParams{WarmupCycles: *warmup, WindowCycles: *window, Parallelism: *jobs}
+	rep, err := gpgpumem.RunBottleneckBreakdown(cfg, wls, p)
+	if err != nil {
+		fatal(err)
+	}
+	if *csv {
+		fmt.Print(rep.CSV())
+		return
+	}
+	fmt.Print(rep.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bottleneck:", err)
+	os.Exit(1)
+}

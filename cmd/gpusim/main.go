@@ -14,7 +14,7 @@
 //
 // Usage:
 //
-//	gpusim [-workload sc | -workload sc,lbm,cfd] [-j N]
+//	gpusim [-workload sc | -workload sc,lbm,cfd] [-j N] [-stalls]
 //	       [-workload-file specs.json] [-trace foo.trace]
 //	       [-scale baseline|l1|l2|dram|l1l2|l2dram|all]
 //	       [-warmup 6000] [-window 20000] [-fixed-latency -1]
@@ -48,6 +48,7 @@ func main() {
 		dumpCfg  = flag.Bool("dump-config", false, "print the effective configuration as JSON and exit")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		tracePth = flag.String("trace", "", "replay a tracegen-recorded trace instead of a built-in workload")
+		stalls   = flag.Bool("stalls", false, "append each workload's stall stack (per-cycle issue-slot attribution)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
@@ -170,6 +171,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(gpgpumem.RenderBatchReport(set.String(), *warmup, *window, wls, results))
+	if *stalls {
+		fmt.Print("\n" + gpgpumem.RenderBatchStallReport(wls, results))
+	}
 }
 
 func loadConfig(data []byte) (gpgpumem.Config, error) {

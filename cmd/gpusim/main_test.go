@@ -41,6 +41,25 @@ func TestGpusimWorkloadFile(t *testing.T) {
 	}
 }
 
+// TestGpusimStallsFlag: -stalls appends one stall-stack section per
+// workload after the normal report, and leaves the report itself
+// untouched (the golden bytes must not depend on the flag).
+func TestGpusimStallsFlag(t *testing.T) {
+	bin := clitest.Build(t, "repro/cmd/gpusim")
+	args := []string{"-workload", "sc,cfd", "-warmup", "200", "-window", "600"}
+	plain, _ := clitest.Run(t, bin, args...)
+	withStalls, _ := clitest.Run(t, bin, append(args, "-stalls")...)
+	if !strings.HasPrefix(withStalls, plain) {
+		t.Fatalf("-stalls altered the base report:\n--- plain\n%s\n--- with -stalls\n%s", plain, withStalls)
+	}
+	extra := withStalls[len(plain):]
+	for _, want := range []string{"stall stack — sc", "stall stack — cfd", "where do the cycles go", "dram-queue"} {
+		if !strings.Contains(extra, want) {
+			t.Fatalf("stall section missing %q:\n%s", want, extra)
+		}
+	}
+}
+
 // TestGpusimTraceFlagConflicts: -trace with an explicit -workload or
 // -workload-file must error instead of silently ignoring them.
 func TestGpusimTraceFlagConflicts(t *testing.T) {

@@ -1,0 +1,44 @@
+// Command scenariosweep runs the multi-phase scenario sweep: every
+// built-in scenario (kmeans, bfs, histo, dct8x8) measured against its
+// duration-weighted fixed-mix control (workload.Spec.Flatten), on the
+// experiment engine's worker pool — what the phase structure alone
+// costs or buys in IPC and queue congestion. The report is
+// byte-identical at any -j.
+//
+// Usage:
+//
+//	scenariosweep [-j N] [-warmup 6000] [-window 20000] [-seed 1] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	gpgpumem "repro"
+)
+
+func main() {
+	var (
+		jobs   = flag.Int("j", 0, "parallel simulations (0 = all cores)")
+		warmup = flag.Int64("warmup", 6000, "warm-up cycles before measurement")
+		window = flag.Int64("window", 20000, "measurement window in core cycles")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of the table")
+	)
+	flag.Parse()
+
+	cfg := gpgpumem.DefaultConfig()
+	cfg.Seed = *seed
+	p := gpgpumem.RunParams{WarmupCycles: *warmup, WindowCycles: *window, Parallelism: *jobs}
+	rep, err := gpgpumem.RunScenarioSweep(cfg, gpgpumem.Scenarios(), p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scenariosweep:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Print(rep.CSV())
+		return
+	}
+	fmt.Print(rep.String())
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -282,6 +283,59 @@ type DesignSpaceResult = exp.DesignSpaceResult
 // for each Table I scaling set.
 func RunDesignSpace(base Config, suite []Workload, sets []ScalingSet, p RunParams) (DesignSpaceResult, error) {
 	return exp.RunDesignSpace(base, suite, sets, p)
+}
+
+// StallCause is one category of the per-cycle issue-slot attribution:
+// each SM cycle is charged to exactly one cause (issue progress, a
+// scoreboard dependency, the SM's own memory pipeline, or — for
+// memory waits — the deepest saturated level of the hierarchy below).
+type StallCause = stats.StallCause
+
+// The stall-attribution categories. See the sim package doc's stall
+// taxonomy for the precise charging rules.
+const (
+	StallIssue      = stats.StallIssue
+	StallScoreboard = stats.StallScoreboard
+	StallMemPipe    = stats.StallMemPipe
+	StallL1Miss     = stats.StallL1Miss
+	StallIcnt       = stats.StallIcnt
+	StallL2Queue    = stats.StallL2Queue
+	StallDRAMQueue  = stats.StallDRAMQueue
+	NumStallCauses  = stats.NumStallCauses
+)
+
+// StallBreakdown attributes issue slots to causes; Results.Stalls
+// carries one merged across all SMs, with Total equal to cycles × SMs.
+type StallBreakdown = stats.StallBreakdown
+
+// BackPressure reports, per hierarchy level, the fraction of its
+// clock-domain cycles the level's input queue was full — how long it
+// stalled its upstream.
+type BackPressure = sim.BackPressure
+
+// BottleneckReport is the per-workload stall-stack characterization
+// (cmd/bottleneck's output): where the cycles go, per workload.
+type BottleneckReport = exp.BottleneckReport
+
+// BottleneckRow is one workload's stall stack in a BottleneckReport.
+type BottleneckRow = exp.BottleneckRow
+
+// DefaultBottleneckWorkloads returns the breakdown sweep's default
+// scope: the paper suite followed by the multi-phase scenarios.
+func DefaultBottleneckWorkloads() []Workload { return exp.DefaultBottleneckWorkloads() }
+
+// RunBottleneckBreakdown measures every workload on the base
+// architecture (one batch on the worker pool) and attributes each
+// one's issue slots to stall causes — the paper's "which level is the
+// bottleneck" characterization as a per-workload stall stack.
+func RunBottleneckBreakdown(base Config, wls []Workload, p RunParams) (BottleneckReport, error) {
+	return exp.RunBottleneckBreakdown(base, wls, p)
+}
+
+// RenderBatchStallReport renders the per-workload stall-stack sections
+// cmd/gpusim appends under its -stalls flag.
+func RenderBatchStallReport(wls []Workload, res []Results) string {
+	return exp.BatchStallReport(wls, res)
 }
 
 // ScenarioReport compares multi-phase scenarios against their

@@ -22,6 +22,14 @@ type Backend interface {
 	// SendMiss forwards an L1 miss or store downstream. A false
 	// return (no capacity) stalls the L1 miss path.
 	SendMiss(req *mem.Request) bool
+	// MemStallCause reports which level of the hierarchy below the L1
+	// is responsible for outstanding misses being slow *right now*:
+	// the deepest level whose input queue is saturated, or
+	// stats.StallL1Miss when nothing below reports back pressure
+	// (pure miss-service latency). The SM charges memory-wait cycles
+	// of its stall breakdown to this cause. Implementations memoize
+	// per core cycle; the call must not allocate.
+	MemStallCause() stats.StallCause
 }
 
 // loadTracker follows one load instruction's outstanding transactions.
@@ -158,8 +166,9 @@ type SM struct {
 	nextID   *uint64
 	lineSize uint64
 	stats    Stats
-	missLat  *stats.Sampler // L1 miss round-trip latency, core cycles
-	issuedAt []int64        // last cycle each warp issued (scratch, no per-cycle clear)
+	stalls   stats.StallBreakdown // per-cycle issue-slot attribution
+	missLat  *stats.Sampler       // L1 miss round-trip latency, core cycles
+	issuedAt []int64              // last cycle each warp issued (scratch, no per-cycle clear)
 
 	pool        *mem.Pool      // request/packet recycling (nil: plain allocation)
 	coalesceBuf []uint64       // scratch for the coalescer (one drain at a time)
@@ -227,6 +236,11 @@ func (s *SM) DeliverResponse(pkt *mem.Packet) bool {
 // Stats returns a copy of the SM counters.
 func (s *SM) Stats() Stats { return s.stats }
 
+// StallStack returns a copy of the SM's per-cycle issue-slot
+// attribution. Its Total always equals Stats().Cycles: every cycle is
+// charged to exactly one cause.
+func (s *SM) StallStack() stats.StallBreakdown { return s.stalls }
+
 // CacheStats returns the L1D tag-array counters.
 func (s *SM) CacheStats() cache.Stats { return s.l1.Stats() }
 
@@ -259,11 +273,16 @@ func (s *SM) Quiescent() bool { return s.idle }
 
 // SkipIdle accounts n quiescent cycles in one call: the exact stat
 // deltas of n idle Ticks (cycle and no-warp-stall counts, empty-queue
-// occupancy samples) without executing them. The caller must ensure
-// the SM is Quiescent and receives no response in the skipped span.
+// occupancy samples, memory-wait stall attribution) without executing
+// them. The caller must ensure the SM is Quiescent and receives no
+// response in the skipped span. A quiescent SM is by construction
+// waiting on outstanding L1 misses — with every queue and pipe empty,
+// only a fill can unblock a warp — so the whole span is charged to
+// the backend's current memory-stall cause.
 func (s *SM) SkipIdle(n int64) {
 	s.stats.Cycles += n
 	s.stats.StallNoWarp += n
+	s.stalls.AddN(s.backend.MemStallCause(), n)
 	s.ldstQ.SampleN(n)
 	s.missQ.SampleN(n)
 	s.respQ.SampleN(n)
@@ -451,6 +470,7 @@ func (s *SM) issue(cycle int64) {
 	}
 	if issued == 0 {
 		s.stats.StallNoWarp++
+		s.stalls.Add(s.stallCause())
 		// Nothing issued and nothing in flight: the SM is frozen
 		// until a response arrives, so later Ticks can take the idle
 		// fast path (same stats, none of the work).
@@ -458,6 +478,26 @@ func (s *SM) issue(cycle int64) {
 			s.respQ.Empty() && s.ldstQ.Empty() && s.missQ.Empty() {
 			s.idle = true
 		}
+	} else {
+		s.stalls.Add(stats.StallIssue)
+	}
+}
+
+// stallCause classifies a zero-issue cycle. Outstanding L1 misses
+// dominate every local condition: while the MSHR holds entries, the
+// warps that could make progress are waiting on the hierarchy below,
+// and the backend names the deepest congested level. With nothing
+// below the L1, a busy local memory pipeline is the structural
+// bottleneck; otherwise the wait is a pure dependency (an L1 hit in
+// flight, charged to the scoreboard).
+func (s *SM) stallCause() stats.StallCause {
+	switch {
+	case s.mshr.Used() > 0:
+		return s.backend.MemStallCause()
+	case s.drainOn || !s.ldstQ.Empty() || !s.missQ.Empty() || !s.respQ.Empty():
+		return stats.StallMemPipe
+	default:
+		return stats.StallScoreboard
 	}
 }
 
@@ -577,6 +617,7 @@ func (s *SM) issueOn(w *warp, cycle int64) {
 // (warps, tags, MSHRs, queue contents) is untouched.
 func (s *SM) ResetStats() {
 	s.stats = Stats{}
+	s.stalls.Reset()
 	s.l1.ResetStats()
 	s.mshr.ResetStats()
 	s.ldstQ.ResetUsage()

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/mem"
+	"repro/internal/stats"
 )
 
 // scriptStream replays a fixed instruction slice, then pads with ALU.
@@ -37,6 +38,10 @@ func (b *testBackend) SendMiss(req *mem.Request) bool {
 	b.sent = append(b.sent, req)
 	return true
 }
+
+// MemStallCause implements Backend: the test backend has no hierarchy
+// below it, so memory waits are pure miss latency.
+func (b *testBackend) MemStallCause() stats.StallCause { return stats.StallL1Miss }
 
 func smConfig() config.Config {
 	cfg := config.GTX480Baseline()

@@ -28,6 +28,11 @@ type Stats struct {
 	ReturnStalls  int64 // cycles the return register was blocked
 	Refreshes     int64 // refresh operations performed
 	ActThrottles  int64 // activates deferred by tRRD/tFAW
+	// InFullCycles counts DRAM cycles the scheduler queue was full at
+	// tick time — the back pressure the channel exerts on its upstream
+	// (the L2 miss queue backs up behind a refused Push). It is one of
+	// the per-level counters the stall-attribution stack composes from.
+	InFullCycles int64
 }
 
 // RowHitRate returns row hits over all accesses.
@@ -109,6 +114,12 @@ func (c *Channel) Push(req *mem.Request) bool { return c.schedQ.Push(req) }
 // QueueFree returns free scheduler-queue slots.
 func (c *Channel) QueueFree() int { return c.schedQ.Free() }
 
+// SchedFull reports whether the scheduler queue is at capacity right
+// now — the channel is stalling its upstream L2 miss path. The
+// stall-attribution engine reads it when charging SM memory-wait
+// cycles to a level.
+func (c *Channel) SchedFull() bool { return c.schedQ.Full() }
+
 // SchedUsage exposes the scheduler queue's occupancy tracker (§III).
 func (c *Channel) SchedUsage() *stats.QueueUsage { return c.schedQ.Usage() }
 
@@ -139,6 +150,9 @@ func (c *Channel) Tick(cycle int64) {
 		c.refresh(cycle)
 		c.schedQ.Sample()
 		return
+	}
+	if c.schedQ.Full() {
+		c.stats.InFullCycles++
 	}
 	c.refresh(cycle)
 	c.drainCompletions(cycle)

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// bottleneckSuite is the golden scope: a memory-bound streaming
+// benchmark, a compute-leaning one, and a multi-phase scenario.
+func bottleneckSuite(t *testing.T) []workload.Workload {
+	t.Helper()
+	wls := make([]workload.Workload, 0, 3)
+	for _, name := range []string{"sc", "leukocyte", "kmeans"} {
+		wl, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wls = append(wls, wl)
+	}
+	return wls
+}
+
+// TestGoldenBottleneckReport pins the cmd/bottleneck output the same
+// way the other CLI reports are pinned: byte-identical to the golden
+// at serial and parallel worker counts. CI regenerates the file with
+// the real binary via scripts/regen-golden.sh and git-diffs it.
+func TestGoldenBottleneckReport(t *testing.T) {
+	want := readGolden(t, "bottleneck.golden")
+	cfg := config.GTX480Baseline()
+	for _, j := range []int{1, 4} {
+		rep, err := RunBottleneckBreakdown(cfg, bottleneckSuite(t), goldenParams(j))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rep.String(); got != want {
+			t.Errorf("j=%d: bottleneck report drifted from golden:\n got:\n%s\nwant:\n%s", j, got, want)
+		}
+	}
+}
+
+// TestBottleneckStacksSumToIssueSlots enforces the report-level
+// closure property: every row's stall categories account for exactly
+// 100%% of its issue slots (window cycles × SMs) — no cycle lost, no
+// cycle double-charged — and the rendered percentages come from the
+// same breakdown.
+func TestBottleneckStacksSumToIssueSlots(t *testing.T) {
+	cfg := config.GTX480Baseline()
+	rep, err := RunBottleneckBreakdown(cfg, bottleneckSuite(t),
+		RunParams{WarmupCycles: 500, WindowCycles: 1500, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		slots := row.Cycles * int64(row.SMs)
+		if got := row.Stalls.Total(); got != slots {
+			t.Errorf("%s: attributed %d cycles, want %d (%d cycles × %d SMs)",
+				row.Workload, got, slots, row.Cycles, row.SMs)
+		}
+		var frac float64
+		for c := stats.StallCause(0); c < stats.NumStallCauses; c++ {
+			frac += row.Stalls.Frac(c)
+		}
+		if frac < 0.999999 || frac > 1.000001 {
+			t.Errorf("%s: category fractions sum to %v, want 1", row.Workload, frac)
+		}
+	}
+}
+
+// TestBottleneckCSVHasAllRows sanity-checks the CSV renderer.
+func TestBottleneckCSVHasAllRows(t *testing.T) {
+	cfg := config.GTX480Baseline()
+	rep, err := RunBottleneckBreakdown(cfg, bottleneckSuite(t),
+		RunParams{WarmupCycles: 200, WindowCycles: 600, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := rep.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+len(rep.Rows) {
+		t.Fatalf("CSV has %d lines, want %d:\n%s", len(lines), 1+len(rep.Rows), csv)
+	}
+	if !strings.HasPrefix(lines[0], "workload,ipc,issue_slots,issue,") {
+		t.Fatalf("unexpected CSV header: %s", lines[0])
+	}
+	for i, row := range rep.Rows {
+		if !strings.HasPrefix(lines[i+1], row.Workload+",") {
+			t.Errorf("CSV row %d = %q, want workload %q", i+1, lines[i+1], row.Workload)
+		}
+	}
+}

@@ -52,6 +52,14 @@ type Stats struct {
 	OutputStalls     int64 // cycles an assembled packet waited on a full sink
 	InputFullRejects int64 // Push calls refused
 	BusyCycles       int64 // output-port cycles spent transferring
+	// InFullCycles counts input-queue cycles spent at capacity, summed
+	// over the inputs as the queues are sampled — the back pressure
+	// the crossbar exerts on its upstream injectors (SM miss paths on
+	// the request network, L2 response paths on the response network).
+	// Dividing by ticks × inputs gives a per-queue average comparable
+	// to the L2/DRAM levels' counters; it is one of the per-level
+	// counters the stall-attribution stack composes from.
+	InFullCycles int64
 }
 
 // Crossbar is an input-queued crossbar with per-output round-robin
@@ -124,6 +132,22 @@ func (c *Crossbar) Quiescent() bool { return c.busy == 0 }
 // InputFree returns the free slots at input port src.
 func (c *Crossbar) InputFree(src int) int { return c.inputs[src].Free() }
 
+// AnyInputFull reports whether some input buffer is at capacity right
+// now — the crossbar is stalling at least one injector. The
+// stall-attribution engine reads it when charging SM memory-wait
+// cycles to a level.
+func (c *Crossbar) AnyInputFull() bool {
+	if c.busy == 0 {
+		return false
+	}
+	for _, in := range c.inputs {
+		if in.Full() {
+			return true
+		}
+	}
+	return false
+}
+
 // Tick advances the crossbar by one interconnect cycle.
 func (c *Crossbar) Tick(cycle int64) {
 	if c.busy == 0 {
@@ -157,9 +181,14 @@ func (c *Crossbar) Tick(cycle int64) {
 			}
 		}
 	}
+	var full int64
 	for _, in := range c.inputs {
 		in.Sample()
+		if in.Full() {
+			full++
+		}
 	}
+	c.stats.InFullCycles += full
 }
 
 // arbitrate picks the next input whose head packet targets out,

@@ -37,6 +37,12 @@ type Stats struct {
 	StallReservation int64 // head blocked: no evictable line in set
 	StallRespQ       int64 // bank completion blocked: response queue full
 	FillStalls       int64 // return-queue head blocked: no bank
+	// InFullCycles counts L2 cycles the access queue was full at tick
+	// time — the back pressure this partition exerts on its upstream
+	// (the request crossbar's outputs block until a slot frees). It is
+	// one of the per-level counters the stall-attribution stack
+	// composes from.
+	InFullCycles int64
 }
 
 // pipeOp is an access in flight in the L2 pipeline: the bank was
@@ -153,6 +159,11 @@ func (p *Partition) MSHRStats() cache.MSHRStats { return p.mshr.Stats() }
 // AccessUsage exposes the access queue tracker (§III, 46% in paper).
 func (p *Partition) AccessUsage() *stats.QueueUsage { return p.accessQ.Usage() }
 
+// AccessFull reports whether the access queue is at capacity right
+// now — the partition is stalling its upstream. The stall-attribution
+// engine reads it when charging SM memory-wait cycles to a level.
+func (p *Partition) AccessFull() bool { return p.accessQ.Full() }
+
 // MissUsage exposes the miss queue tracker.
 func (p *Partition) MissUsage() *stats.QueueUsage { return p.missQ.Usage() }
 
@@ -198,6 +209,9 @@ func (p *Partition) Tick(cycle int64) {
 		p.respQ.Sample()
 		p.retQ.Sample()
 		return
+	}
+	if p.accessQ.Full() {
+		p.stats.InFullCycles++
 	}
 	p.completeFills(cycle)
 	p.completeHits(cycle)

@@ -77,6 +77,36 @@ type Results struct {
 	StallMissQ    int64
 	StallResFail  int64
 	StallLDSTFull int64
+
+	// Stalls is the per-cycle issue-slot attribution merged across
+	// SMs: every SM cycle charged to exactly one cause, so its Total
+	// equals Cycles × SMs (the window's issue slots). See the package
+	// doc's stall taxonomy.
+	Stalls stats.StallBreakdown
+	// BackPressure summarizes each level's upstream-stall counters.
+	BackPressure BackPressure
+}
+
+// BackPressure reports, per hierarchy level, the fraction of that
+// level's input-queue cycles spent at capacity — i.e. how long each
+// level stalled its upstream, averaged over the level's queue
+// instances so the fractions are comparable across levels. These are
+// the counters the hierarchical stall attribution composes with: a
+// level that is rarely full cannot be the root cause of upstream
+// waits.
+type BackPressure struct {
+	// ReqIcntInFull: fraction of request-crossbar input-queue cycles
+	// at capacity, averaged over inputs (SM miss paths blocked).
+	ReqIcntInFull float64
+	// RespIcntInFull: fraction of response-crossbar input-queue cycles
+	// at capacity, averaged over inputs (L2 response paths blocked).
+	RespIcntInFull float64
+	// L2AccessInFull: fraction of L2 cycles an access queue was full,
+	// aggregated across partitions (request-crossbar outputs blocked).
+	L2AccessInFull float64
+	// DRAMSchedInFull: fraction of DRAM cycles a scheduler queue was
+	// full, aggregated across channels (L2 miss paths blocked).
+	DRAMSchedInFull float64
 }
 
 // Results computes the snapshot since the last ResetStats (or since
@@ -100,6 +130,7 @@ func (g *GPU) Results() Results {
 		r.StallMissQ += st.StallMissQ
 		r.StallResFail += st.StallResFail
 		r.StallLDSTFull += st.StallLDSTFull
+		r.Stalls.Merge(sm.StallStack())
 
 		cs := sm.CacheStats()
 		r.L1.Accesses += cs.Accesses
@@ -136,6 +167,7 @@ func (g *GPU) Results() Results {
 		schedU := newAgg()
 		var dramTicks, busBusy int64
 		var rowHits, rowTotal int64
+		var l2Ticks, l2InFull, dramInFull int64
 		for _, p := range g.parts {
 			cs := p.CacheStats()
 			r.L2.Accesses += cs.Accesses
@@ -157,6 +189,9 @@ func (g *GPU) Results() Results {
 			rowTotal += ds.RowHits + ds.RowMisses + ds.RowConflicts
 			busBusy += ds.BusBusyCycles
 			dramTicks += p.Channel().SchedUsage().SampledCycles()
+			l2Ticks += p.AccessUsage().SampledCycles()
+			l2InFull += p.Stats().InFullCycles
+			dramInFull += ds.InFullCycles
 		}
 		if r.L2.Accesses > 0 {
 			r.L2.MissRate = float64(r.L2.Misses+r.L2.HitsReserved) / float64(r.L2.Accesses)
@@ -178,11 +213,35 @@ func (g *GPU) Results() Results {
 		r.RespPackets = ps.Packets
 		r.ReqOutputStall = rs.OutputStalls
 		r.RespOutputStall = ps.OutputStalls
+		if l2Ticks > 0 {
+			r.BackPressure.L2AccessInFull = float64(l2InFull) / float64(l2Ticks)
+		}
+		if dramTicks > 0 {
+			r.BackPressure.DRAMSchedInFull = float64(dramInFull) / float64(dramTicks)
+		}
+		// Every input queue of a crossbar samples once per tick, so
+		// the summed sampled-cycle count over inputs is the
+		// denominator of the per-queue full-cycle average.
+		if qc := sumSampled(g.reqX.InputUsages()); qc > 0 {
+			r.BackPressure.ReqIcntInFull = float64(rs.InFullCycles) / float64(qc)
+		}
+		if qc := sumSampled(g.respX.InputUsages()); qc > 0 {
+			r.BackPressure.RespIcntInFull = float64(ps.InFullCycles) / float64(qc)
+		}
 	}
 	return r
 }
 
 func isNaN(f float64) bool { return f != f }
+
+// sumSampled totals the sampled queue-cycles of a tracker family.
+func sumSampled(us []*stats.QueueUsage) int64 {
+	var n int64
+	for _, u := range us {
+		n += u.SampledCycles()
+	}
+	return n
+}
 
 // statsUsage is a local alias to keep the aggregation helpers short.
 type statsUsage = stats.QueueUsage
@@ -243,6 +302,28 @@ func (r Results) String() string {
 	t.Row("DRAM row-hit rate", "%.1f%%", r.DRAMRowHitRate*100)
 	t.Row("DRAM bus utilization", "%.1f%%", r.DRAMBusUtil*100)
 	fmt.Fprint(&b, t.String())
+	return b.String()
+}
+
+// StallString renders the stall stack: every issue slot of the window
+// (cycles × SMs) attributed to one cause, with each level's
+// back-pressure fraction alongside. It is a separate section from
+// String so the pinned golden reports are untouched unless a CLI asks
+// for stalls explicitly.
+func (r Results) StallString() string {
+	var b strings.Builder
+	total := r.Stalls.Total()
+	var t stats.Table
+	t.Row("issue slots", "%d", total)
+	for c := stats.StallCause(0); c < stats.NumStallCauses; c++ {
+		t.Row(c.String(), "%10d  %5.1f%%", r.Stalls.Cycles(c), r.Stalls.Frac(c)*100)
+	}
+	t.Row("bound by", "%s", r.Stalls.Dominant())
+	t.Row("back pressure", "icnt-req %.0f%%  icnt-resp %.0f%%  l2-access %.0f%%  dram-sched %.0f%%",
+		r.BackPressure.ReqIcntInFull*100, r.BackPressure.RespIcntInFull*100,
+		r.BackPressure.L2AccessInFull*100, r.BackPressure.DRAMSchedInFull*100)
+	b.WriteString("where do the cycles go (one cause per SM-cycle)\n")
+	b.WriteString(t.String())
 	return b.String()
 }
 

@@ -20,14 +20,43 @@
 //     arbitration.
 //   - Skipped cycles account the exact statistics a full tick would
 //     have produced (cycle counters, stall counters, zero-occupancy
-//     queue samples), so reports are byte-identical with and without
-//     skipping. In fixed-latency mode, when every SM is quiescent the
-//     GPU fast-forwards whole spans of cycles to the next scheduled
-//     response delivery in O(1) (Run).
+//     queue samples, stall attribution), so reports are byte-identical
+//     with and without skipping. In fixed-latency mode, when every SM
+//     is quiescent the GPU fast-forwards whole spans of cycles to the
+//     next scheduled response delivery in O(1) (Run).
 //
 // Determinism is unaffected: a GPU instance owns all of its state, so
 // reports are bit-identical at any experiment-engine parallelism, and
 // golden-output tests (internal/exp/testdata) pin the exact bytes.
+//
+// # Stall taxonomy
+//
+// Every core cycle of every SM is attributed to exactly one cause in
+// its stats.StallBreakdown — the "where do the cycles go" stack of
+// Results.Stalls, cmd/bottleneck and gpusim -stalls. The categories:
+//
+//   - issue: at least one warp instruction issued (compute progress);
+//   - scoreboard: no warp could issue and no L1 miss is outstanding —
+//     a pure dependency wait, e.g. on the L1 hit latency;
+//   - mem-pipe: the SM's own memory pipeline (coalescer drain, LDST
+//     queue, miss queue, response queue) holds the blocked work;
+//   - l1-miss / icnt / l2-queue / dram-queue: L1 misses are
+//     outstanding below the core. The GPU refines this memory wait to
+//     the *deepest* level whose input queue is saturated this cycle —
+//     a full DRAM scheduler queue outranks a full L2 access queue
+//     outranks a full crossbar input buffer, because back pressure
+//     propagates upward and the deepest saturated level is the root
+//     cause. With no congestion anywhere the wait is pure miss-service
+//     latency, charged to l1-miss (as is every memory wait in
+//     fixed-latency mode, which has no hierarchy to congest).
+//
+// The refinement is computed lazily, at most once per core cycle
+// (memStallCause), and the quiescence fast paths batch-charge skipped
+// spans (core.SM.SkipIdle), so attribution respects both the
+// allocation budget and the idle-skipping invariants above. The sum of
+// a breakdown's categories is exactly the SM's cycle count; merged
+// GPU-wide it is cycles × SMs, an invariant the sim tests enforce for
+// every built-in workload.
 package sim
 
 import (
@@ -40,6 +69,7 @@ import (
 	"repro/internal/l2"
 	"repro/internal/mem"
 	"repro/internal/queue"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -63,6 +93,14 @@ type GPU struct {
 	dramCycle int64
 	// Clock-domain phase accumulators (units of MHz·cycles).
 	icntAcc, l2Acc, dramAcc int
+
+	// stallCause memoizes the hierarchical memory-stall refinement for
+	// the core cycle stallCauseAt: the deepest level whose input queue
+	// is saturated. It is computed lazily — only when some SM charges
+	// a memory-wait cycle — and at most once per cycle, shared by all
+	// SMs for determinism.
+	stallCause   stats.StallCause
+	stallCauseAt int64
 }
 
 // New builds a GPU running wl under cfg. The config is validated and
@@ -80,6 +118,7 @@ func New(cfg config.Config, wl workload.Workload) (*GPU, error) {
 		pool: mem.NewPool(),
 		addrMap: dram.NewAddrMap(cfg.L2.LineSize, cfg.L2.Partitions,
 			cfg.DRAM.RowBytes, cfg.DRAM.BanksPerChip),
+		stallCauseAt: -1,
 	}
 
 	if cfg.FixedLatency.Enabled {
@@ -154,6 +193,42 @@ func (b realBackend) SendMiss(req *mem.Request) bool {
 	return true
 }
 
+// MemStallCause implements core.Backend: the GPU-wide hierarchical
+// refinement, memoized per core cycle.
+func (b realBackend) MemStallCause() stats.StallCause { return b.g.memStallCause() }
+
+// memStallCause names the level responsible for memory waits this
+// cycle: the deepest one whose input queue is saturated. DRAM
+// saturation outranks L2 outranks interconnect — a full queue below
+// is the root cause of every queue backed up above it — and with no
+// congestion anywhere the wait is pure L1-miss service latency. The
+// result is computed at most once per core cycle and shared by every
+// SM, after the downstream clock domains have ticked (Step order), so
+// attribution is deterministic at any experiment-engine parallelism.
+func (g *GPU) memStallCause() stats.StallCause {
+	if g.stallCauseAt == g.coreCycle {
+		return g.stallCause
+	}
+	g.stallCauseAt = g.coreCycle
+	g.stallCause = stats.StallL1Miss
+	for _, p := range g.parts {
+		if p.Channel().SchedFull() {
+			g.stallCause = stats.StallDRAMQueue
+			return g.stallCause
+		}
+	}
+	for _, p := range g.parts {
+		if p.AccessFull() {
+			g.stallCause = stats.StallL2Queue
+			return g.stallCause
+		}
+	}
+	if g.reqX.AnyInputFull() || g.respX.AnyInputFull() {
+		g.stallCause = stats.StallIcnt
+	}
+	return g.stallCause
+}
+
 // fixedBackend answers every L1 load miss after exactly latency core
 // cycles with unlimited bandwidth; stores vanish instantly. This is
 // the Fig. 1 "all L1 miss responses returned with a fixed and
@@ -167,6 +242,10 @@ type fixedBackend struct {
 	// inflight counts undelivered responses across all FIFOs.
 	inflight int
 }
+
+// MemStallCause implements core.Backend: the fixed-latency responder
+// has no hierarchy to congest, so every memory wait is pure latency.
+func (b *fixedBackend) MemStallCause() stats.StallCause { return stats.StallL1Miss }
 
 // SendMiss implements core.Backend; it never back-pressures.
 func (b *fixedBackend) SendMiss(req *mem.Request) bool {

@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Regenerates every pinned golden report under internal/exp/testdata
+# with the real binaries — the single definition of the golden
+# methodology, shared by local refreshes and the CI golden job.
+#
+# Usage:
+#   scripts/regen-golden.sh [-j N] [-check]
+#
+#   -j N     worker count (default 1). The reports must be
+#            byte-identical at any N; CI runs the script twice (-j 1
+#            and -j 4) to prove it. When N > 1, latsweep deliberately
+#            runs at N-1 so the parallel pass also exercises a second
+#            job-to-worker mapping of the pool (the old inline CI
+#            recipe used gpusim -j 4 / latsweep -j 3 for the same
+#            reason).
+#   -check   after regenerating, fail if any golden changed
+#            (git diff --exit-code) — the CI gate mode.
+#
+# Run from the repository root.
+set -eu
+
+J=1
+CHECK=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    -j)
+      J="$2"
+      shift 2
+      ;;
+    -check)
+      CHECK=1
+      shift
+      ;;
+    *)
+      echo "usage: scripts/regen-golden.sh [-j N] [-check]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+OUT=internal/exp/testdata
+
+LJ="$J"
+if [ "$J" -gt 1 ]; then
+  LJ=$((J - 1))
+fi
+
+go run ./cmd/gpusim -workload sc,cfd -warmup 2000 -window 5000 -seed 1 -j "$J" > "$OUT/gpusim-sc-cfd.golden"
+go run ./cmd/gpusim -workload kmeans -warmup 2000 -window 5000 -seed 1 -j "$J" > "$OUT/gpusim-kmeans.golden"
+go run ./cmd/latsweep -workloads sc,cfd -max 400 -step 200 -warmup 2000 -window 5000 -j "$LJ" > "$OUT/latsweep-sc-cfd.golden"
+go run ./cmd/bottleneck -workloads sc,leukocyte,kmeans -warmup 2000 -window 5000 -seed 1 -j "$J" > "$OUT/bottleneck.golden"
+
+if [ "$CHECK" = 1 ]; then
+  git diff --exit-code -- "$OUT"
+fi
