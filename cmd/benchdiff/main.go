@@ -32,6 +32,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -72,14 +73,14 @@ func main() {
 				name, flag.Arg(0))
 			continue
 		}
-		delta := 100 * (now.nsop - old.nsop) / old.nsop
-		fmt.Printf("%-52s %14.0f %14.0f %+8.1f%% %16s %13s\n",
-			name, old.nsop, now.nsop, delta,
+		delta, deltaStr := pctDelta(old.nsop, now.nsop)
+		fmt.Printf("%-52s %14.0f %14.0f %9s %16s %13s\n",
+			name, old.nsop, now.nsop, deltaStr,
 			memDelta(old, now, func(r bench) float64 { return r.allocs }),
 			memDelta(old, now, func(r bench) float64 { return r.bytes }))
 		if delta > *threshold {
-			fmt.Printf("::warning title=benchmark regression::%s slowed %.1f%% (%.0f -> %.0f ns/op)\n",
-				name, delta, old.nsop, now.nsop)
+			fmt.Printf("::warning title=benchmark regression::%s slowed %s (%.0f -> %.0f ns/op)\n",
+				name, strings.TrimSpace(deltaStr), old.nsop, now.nsop)
 		}
 		if !*failAllocs {
 			continue
@@ -90,11 +91,11 @@ func main() {
 			// judge it, and saying so beats pretending it passed.
 			fmt.Printf("::warning title=allocs not comparable::%s lacks -benchmem metrics in %s\n",
 				name, pickMissing(old.hasMem, flag.Arg(0), flag.Arg(1)))
-		case now.allocs > old.allocs*(1+*allocTol/100):
+		case regressed(old.allocs, now.allocs, *allocTol):
 			failed = true
 			fmt.Printf("::error title=allocs/op regression::%s allocates more (%.0f -> %.0f allocs/op)\n",
 				name, old.allocs, now.allocs)
-		case now.bytes > old.bytes*(1+*allocTol/100):
+		case regressed(old.bytes, now.bytes, *allocTol):
 			failed = true
 			fmt.Printf("::error title=B/op regression::%s allocates more bytes (%.0f -> %.0f B/op)\n",
 				name, old.bytes, now.bytes)
@@ -120,6 +121,33 @@ func main() {
 		fmt.Println("benchdiff: allocs/op or B/op regressed; if intentional, refresh", flag.Arg(0))
 		os.Exit(1)
 	}
+}
+
+// pctDelta returns the old→now percentage change and its rendering.
+// A zero baseline has no finite percentage: 0→0 is unchanged and 0→N
+// is rendered (and, via the +Inf delta, always flagged) as a
+// regression from nothing — the naive 100*(now-old)/old would print
+// NaN for the former and +Inf for both.
+func pctDelta(old, now float64) (float64, string) {
+	if old == 0 {
+		if now == 0 {
+			return 0, fmt.Sprintf("%+8.1f%%", 0.0)
+		}
+		return math.Inf(1), "0->new"
+	}
+	delta := 100 * (now - old) / old
+	return delta, fmt.Sprintf("%+8.1f%%", delta)
+}
+
+// regressed reports whether a -benchmem metric got worse beyond the
+// tolerance. The tolerance is multiplicative, so it cannot excuse a
+// zero baseline growing: 0→0 is unchanged, 0→N is always a
+// regression.
+func regressed(old, now, tolPct float64) bool {
+	if old == 0 {
+		return now > 0
+	}
+	return now > old*(1+tolPct/100)
 }
 
 // memCell renders an optional -benchmem value.

@@ -75,6 +75,59 @@ BenchmarkNoMem	1	300 ns/op
 	clitest.RunExpectError(t, bin, "-fail-allocs", base, cur)
 }
 
+// TestBenchdiffZeroBaseline: a zero baseline metric must not produce
+// NaN/Inf percentages — 0→0 is unchanged (gate passes), 0→N is a hard
+// regression under -fail-allocs and an annotated slowdown for ns/op.
+func TestBenchdiffZeroBaseline(t *testing.T) {
+	bin := clitest.Build(t, "repro/cmd/benchdiff")
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", `goos: linux
+BenchmarkZero	1	100 ns/op	  0 B/op	  0 allocs/op
+BenchmarkZeroNs	1	0 ns/op	  64 B/op	  1 allocs/op
+`)
+
+	// 0→0 everywhere: unchanged, the gate passes, nothing non-finite.
+	same := write(t, dir, "same.txt", `goos: linux
+BenchmarkZero	1	100 ns/op	  0 B/op	  0 allocs/op
+BenchmarkZeroNs	1	0 ns/op	  64 B/op	  1 allocs/op
+`)
+	out, _ := clitest.Run(t, bin, "-fail-allocs", base, same)
+	for _, bad := range []string{"NaN", "Inf", "::error"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("0→0 comparison produced %q:\n%s", bad, out)
+		}
+	}
+
+	// allocs 0→2: hard regression even though 0*(1+tol) == 0.
+	leak := write(t, dir, "leak.txt", `goos: linux
+BenchmarkZero	1	100 ns/op	  0 B/op	  2 allocs/op
+BenchmarkZeroNs	1	0 ns/op	  64 B/op	  1 allocs/op
+`)
+	stderrless, _ := clitest.Run(t, bin, base, leak) // warn-only still passes
+	if strings.Contains(stderrless, "NaN") {
+		t.Fatalf("NaN leaked into warn-only output:\n%s", stderrless)
+	}
+	clitest.RunExpectError(t, bin, "-fail-allocs", base, leak)
+
+	// ns/op 0→300: annotated as a regression, rendered finitely.
+	slow := write(t, dir, "slow.txt", `goos: linux
+BenchmarkZero	1	100 ns/op	  0 B/op	  0 allocs/op
+BenchmarkZeroNs	1	300 ns/op	  64 B/op	  1 allocs/op
+`)
+	out, _ = clitest.Run(t, bin, base, slow)
+	if !strings.Contains(out, "0->new") {
+		t.Fatalf("0→N ns/op not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "::warning title=benchmark regression::BenchmarkZeroNs") {
+		t.Fatalf("0→N ns/op not annotated:\n%s", out)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("non-finite percentage printed:\n%s", out)
+		}
+	}
+}
+
 // TestBenchdiffCleanPassesAndReportsSingletons: equal metrics pass the
 // gate even with -fail-allocs, a benchmark new in this run is reported
 // (not silently skipped) without failing the gate, and a benchmark

@@ -19,7 +19,14 @@
 //	       [-scale baseline|l1|l2|dram|l1l2|l2dram|all]
 //	       [-warmup 6000] [-window 20000] [-fixed-latency -1]
 //	       [-config file.json] [-dump-config] [-seed 1]
+//	       [-cache-dir DIR]
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -cache-dir points at a gpusimd result-cache directory: jobs already
+// measured (by either tool) decode from the cache instead of
+// simulating, and fresh jobs are stored. The printed report is
+// byte-identical with and without the cache — results are pure
+// functions of (config, spec, seed, warmup, window).
 package main
 
 import (
@@ -49,6 +56,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		tracePth = flag.String("trace", "", "replay a tracegen-recorded trace instead of a built-in workload")
 		stalls   = flag.Bool("stalls", false, "append each workload's stall stack (per-cycle issue-slot attribution)")
+		cacheDir = flag.String("cache-dir", "", "reuse a gpusimd result cache: cached jobs skip simulation, fresh jobs are stored for next time")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
@@ -160,7 +168,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	results, err := gpgpumem.MeasureBatch(context.Background(), batch, *jobs, nil)
+	results, err := measure(batch, *jobs, *cacheDir)
 	if *cpuProf != "" {
 		pprof.StopCPUProfile()
 	}
@@ -178,6 +186,73 @@ func main() {
 
 func loadConfig(data []byte) (gpgpumem.Config, error) {
 	return gpgpumem.ConfigFromJSON(data)
+}
+
+// measure runs the batch, optionally through a content-addressed
+// result cache shared with gpusimd. Results are pure functions of
+// (config, spec, seed, warmup, window), so a cache hit decodes to the
+// exact snapshot a fresh simulation would produce and the rendered
+// report is byte-identical either way; only spec-backed jobs are
+// cacheable (a -trace replay has no canonical description to hash).
+func measure(batch []gpgpumem.Job, jobs int, cacheDir string) ([]gpgpumem.Results, error) {
+	if cacheDir == "" {
+		return gpgpumem.MeasureBatch(context.Background(), batch, jobs, nil)
+	}
+	cache, err := gpgpumem.NewResultCache(gpgpumem.ResultCacheOptions{Dir: cacheDir})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]gpgpumem.Results, len(batch))
+	keys := make([]string, len(batch))
+	var misses []int
+	for i, job := range batch {
+		spec, ok := job.Workload.(gpgpumem.WorkloadSpec)
+		if !ok {
+			misses = append(misses, i)
+			continue
+		}
+		key, err := gpgpumem.SimResultKey(job.Config, spec, job.WarmupCycles, job.WindowCycles)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = key
+		data, ok := cache.Get(key)
+		if !ok {
+			misses = append(misses, i)
+			continue
+		}
+		res, err := gpgpumem.DecodeResults(data)
+		if err != nil {
+			// A corrupt or stale entry is recomputed, not trusted.
+			fmt.Fprintf(os.Stderr, "gpusim: ignoring bad cache entry for %s: %v\n", job.Workload.Name(), err)
+			misses = append(misses, i)
+			continue
+		}
+		results[i] = res
+	}
+	if len(misses) == 0 {
+		return results, nil
+	}
+	fresh := make([]gpgpumem.Job, len(misses))
+	for bi, i := range misses {
+		fresh[bi] = batch[i]
+	}
+	computed, err := gpgpumem.MeasureBatch(context.Background(), fresh, jobs, nil)
+	if err != nil {
+		return nil, err
+	}
+	for bi, i := range misses {
+		results[i] = computed[bi]
+		if keys[i] == "" {
+			continue // uncacheable job (trace replay)
+		}
+		enc, err := gpgpumem.EncodeResults(computed[bi])
+		if err != nil {
+			return nil, err
+		}
+		cache.Put(keys[i], enc)
+	}
+	return results, nil
 }
 
 // writeHeapProfile snapshots the live heap to path. Failures are

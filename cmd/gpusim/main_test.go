@@ -60,6 +60,64 @@ func TestGpusimStallsFlag(t *testing.T) {
 	}
 }
 
+// TestGpusimCacheDir: the offline result cache must never change the
+// report — a cold run populates the cache, a warm run decodes from it,
+// and both print exactly the bytes of an uncached run, for built-ins
+// (suite + scenario) and user spec files alike.
+func TestGpusimCacheDir(t *testing.T) {
+	bin := clitest.Build(t, "repro/cmd/gpusim")
+	spec := filepath.Join(t.TempDir(), "specs.json")
+	if err := os.WriteFile(spec, []byte(specsJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	argSets := map[string][]string{
+		"builtins":  {"-workload", "sc,kmeans", "-warmup", "200", "-window", "600", "-stalls"},
+		"spec file": {"-workload-file", spec, "-warmup", "200", "-window", "600"},
+	}
+	for name, args := range argSets {
+		dir := filepath.Join(t.TempDir(), "cache")
+		uncached, _ := clitest.Run(t, bin, args...)
+		cold, _ := clitest.Run(t, bin, append(args, "-cache-dir", dir)...)
+		if cold != uncached {
+			t.Fatalf("%s: cold cached run differs from uncached run:\n--- uncached\n%s\n--- cold\n%s", name, uncached, cold)
+		}
+		entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+		if err != nil || len(entries) == 0 {
+			t.Fatalf("%s: no cache entries persisted (err=%v)", name, err)
+		}
+		warm, _ := clitest.Run(t, bin, append(args, "-cache-dir", dir)...)
+		if warm != uncached {
+			t.Fatalf("%s: warm cached run differs from uncached run:\n--- uncached\n%s\n--- warm\n%s", name, uncached, warm)
+		}
+	}
+
+	// A methodology change must miss, not serve the old entry.
+	dir := filepath.Join(t.TempDir(), "cache")
+	short, _ := clitest.Run(t, bin, "-workload", "sc", "-warmup", "200", "-window", "400", "-cache-dir", dir)
+	long, _ := clitest.Run(t, bin, "-workload", "sc", "-warmup", "200", "-window", "800", "-cache-dir", dir)
+	if short == long {
+		t.Fatal("different windows produced identical reports — stale cache entry served")
+	}
+
+	// Corrupt entries are recomputed, and the report still matches.
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatal("no entries to corrupt")
+	}
+	for _, e := range entries {
+		if err := os.WriteFile(e, []byte(`{"Cycles":-1}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	redone, stderr := clitest.Run(t, bin, "-workload", "sc", "-warmup", "200", "-window", "800", "-cache-dir", dir)
+	if redone != long {
+		t.Fatal("recomputed report differs after cache corruption")
+	}
+	if !strings.Contains(stderr, "ignoring bad cache entry") {
+		t.Fatalf("corruption not reported: %s", stderr)
+	}
+}
+
 // TestGpusimTraceFlagConflicts: -trace with an explicit -workload or
 // -workload-file must error instead of silently ignoring them.
 func TestGpusimTraceFlagConflicts(t *testing.T) {

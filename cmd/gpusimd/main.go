@@ -1,0 +1,122 @@
+// Command gpusimd is the long-running experiment service: the
+// simulator's sweeps behind HTTP/JSON, with a content-addressed
+// result cache in front of the worker pool. Submit a workload (name
+// or inline spec) or a named sweep; identical submissions are served
+// from the cache byte-for-byte and concurrent duplicates run once.
+//
+// Usage:
+//
+//	gpusimd [-addr :8337] [-cache-dir DIR] [-cache-bytes N]
+//	        [-max-concurrent N] [-queue-depth N] [-j N]
+//	        [-max-window N] [-config file.json] [-drain-timeout 30s]
+//
+// Endpoints (see the README's "Running gpusimd" for examples):
+//
+//	GET  /healthz               liveness + queue occupancy
+//	GET  /v1/workloads          built-in benchmark and scenario names
+//	GET  /v1/stats              cache and queue counters
+//	POST /v1/run                one measurement
+//	POST /v1/sweep/bottleneck   stall-attribution sweep
+//	POST /v1/sweep/scenarios    phase-structure sweep
+//
+// SIGINT/SIGTERM drain gracefully: new jobs get 503, in-flight
+// simulations finish (up to -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	gpgpumem "repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8337", "listen address (host:port; port 0 picks a free port)")
+		cacheDir = flag.String("cache-dir", "", "persist the result cache in this directory (shared with gpusim -cache-dir)")
+		cacheMB  = flag.Int64("cache-bytes", 0, "in-memory cache budget in bytes (0 = default)")
+		maxConc  = flag.Int("max-concurrent", 0, "simultaneously running jobs (0 = all cores)")
+		queue    = flag.Int("queue-depth", 16, "jobs allowed to wait for a run slot before shedding 503s")
+		jobs     = flag.Int("j", 0, "per-request parallelism cap for sweeps (0 = all cores)")
+		maxWin   = flag.Int64("max-window", 0, "largest accepted warmup+window cycles per job (0 = default)")
+		cfgPath  = flag.String("config", "", "base architecture JSON (default: GTX480 baseline)")
+		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	)
+	flag.Parse()
+
+	opts := serve.Options{
+		CacheDir:        *cacheDir,
+		CacheBytes:      *cacheMB,
+		MaxConcurrent:   *maxConc,
+		QueueDepth:      *queue,
+		MaxParallelism:  *jobs,
+		MaxWindowCycles: *maxWin,
+	}
+	if *cfgPath != "" {
+		data, err := os.ReadFile(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err := gpgpumem.ConfigFromJSON(data)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Config = &cfg
+	}
+	srv, err := serve.New(opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The listening line is the daemon's readiness signal: the smoke
+	// tests (and humans with -addr :0) parse the bound address from it.
+	fmt.Printf("gpusimd: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("gpusimd: %v: draining\n", sig)
+	case err := <-errCh:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	// Drain first, with the listener still open: new jobs are refused
+	// with 503 + Retry-After and cache hits keep serving while the
+	// in-flight simulations finish. Only then close the listener.
+	// Shutting down the HTTP server first would slam the door with
+	// connection-refused instead of the documented drain semantics.
+	drainErr := srv.Drain(ctx)
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "gpusimd: shutdown:", err)
+	}
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "gpusimd: drain:", drainErr)
+		os.Exit(1)
+	}
+	fmt.Println("gpusimd: drained, bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gpusimd:", err)
+	os.Exit(1)
+}

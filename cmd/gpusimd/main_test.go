@@ -1,0 +1,121 @@
+package main_test
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/clitest"
+)
+
+// startDaemon launches gpusimd on a free port and returns its base
+// URL plus the running command. The caller owns shutdown.
+func startDaemon(t *testing.T, bin string, args ...string) (*exec.Cmd, string, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	r := bufio.NewReader(stdout)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("daemon produced no listening line: %v\nstderr: %s", err, stderr.String())
+	}
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("unexpected first line: %q", line)
+	}
+	url := strings.TrimSpace(line[i+len(marker):])
+	go io.Copy(io.Discard, r) // keep draining so the daemon never blocks on stdout
+	return cmd, url, &stderr
+}
+
+// postJSON returns (status, X-Cache header, body).
+func postJSON(t *testing.T, url, body string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("X-Cache"), string(data)
+}
+
+// TestGpusimdSmoke is the service's clitest entry: start, health
+// check, submit one tiny run and one tiny sweep, hit the cache with
+// identical bytes, then shut down cleanly on SIGTERM with exit 0.
+func TestGpusimdSmoke(t *testing.T) {
+	bin := clitest.Build(t, "repro/cmd/gpusimd")
+	cacheDir := t.TempDir()
+	cmd, url, stderr := startDaemon(t, bin, "-cache-dir", cacheDir)
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v\nstderr: %s", err, stderr.String())
+	}
+	health, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(health), `"status":"ok"`) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, health)
+	}
+
+	run := `{"workload":"sc","warmup_cycles":200,"window_cycles":500}`
+	code, cache, fresh := postJSON(t, url+"/v1/run", run)
+	if code != http.StatusOK || cache != "miss" {
+		t.Fatalf("fresh run: code=%d cache=%s body=%s", code, cache, fresh)
+	}
+	code, cache, hit := postJSON(t, url+"/v1/run", run)
+	if code != http.StatusOK || cache != "hit" || hit != fresh {
+		t.Fatalf("cache hit broken: code=%d cache=%s identical=%v", code, cache, hit == fresh)
+	}
+
+	sweep := `{"workloads":["kmeans"],"warmup_cycles":200,"window_cycles":400}`
+	code, _, rep := postJSON(t, url+"/v1/sweep/bottleneck", sweep)
+	if code != http.StatusOK || !strings.Contains(rep, `"Workload":"kmeans"`) {
+		t.Fatalf("sweep: code=%d body=%s", code, rep)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero: %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not drain within 30s")
+	}
+
+	// A fresh daemon over the same cache dir serves the persisted run.
+	_, url2, _ := startDaemon(t, bin, "-cache-dir", cacheDir)
+	code, cache, reloaded := postJSON(t, url2+"/v1/run", run)
+	if code != http.StatusOK || cache != "hit" || reloaded != fresh {
+		t.Fatalf("persisted cache not reused: code=%d cache=%s identical=%v", code, cache, reloaded == fresh)
+	}
+}

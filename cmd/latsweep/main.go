@@ -11,8 +11,12 @@
 //	         [-warmup 6000] [-window 20000] [-j N] [-progress]
 //
 // -workload-file sweeps user-defined JSON workload specs (see the
-// README's "Defining your own workload"); given alone it replaces the
-// default suite, given with -workloads the file's specs are appended.
+// README's "Defining your own workload") instead of the default
+// suite. It is mutually exclusive with -workloads: combining the two
+// used to silently merge both sets into one sweep, which made a typo
+// in either flag invisible, so the conflict is now a loud error
+// (mirroring the gpusim -trace conflict rule). To sweep built-ins and
+// file specs together, add the built-ins' specs to the file.
 package main
 
 import (
@@ -39,6 +43,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *wlList != "" && *wlFile != "" {
+		fmt.Fprintln(os.Stderr, "latsweep: -workloads and -workload-file are mutually exclusive (add built-in specs to the file to sweep both)")
+		os.Exit(1)
+	}
 	suite := gpgpumem.Suite()
 	if *wlList != "" || *wlFile != "" {
 		suite = nil

@@ -28,3 +28,20 @@ func TestLatsweepWorkloadFile(t *testing.T) {
 		t.Fatalf("-workload-file alone should replace the default suite:\n%s", out)
 	}
 }
+
+// TestLatsweepWorkloadFileConflict: -workloads combined with
+// -workload-file is a loud error (the sweep used to silently merge
+// the two sets, hiding typos in either flag).
+func TestLatsweepWorkloadFileConflict(t *testing.T) {
+	bin := clitest.Build(t, "repro/cmd/latsweep")
+	spec := filepath.Join(t.TempDir(), "spec.json")
+	specJSON := `{"name":"myk","warps":4,"dep_dist":1,"compute_per_mem":2,
+	  "access_pattern":"thrash","working_set_lines":4096,"lines_per_access":2,"shared":true}`
+	if err := os.WriteFile(spec, []byte(specJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr := clitest.RunExpectError(t, bin, "-workloads", "sc", "-workload-file", spec)
+	if !strings.Contains(stderr, "mutually exclusive") {
+		t.Fatalf("unexpected conflict error: %s", stderr)
+	}
+}

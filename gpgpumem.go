@@ -35,7 +35,9 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/exp"
+	"repro/internal/resultcache"
 	"repro/internal/runner"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -353,3 +355,57 @@ type ScenarioRow = exp.ScenarioRow
 func RunScenarioSweep(base Config, scenarios []WorkloadSpec, p RunParams) (ScenarioReport, error) {
 	return exp.RunScenarioSweep(base, scenarios, p)
 }
+
+// EncodeResults renders a Results snapshot as stable, compact JSON:
+// the same measurement always encodes to the same bytes, which is
+// what makes serialized results content-addressable.
+func EncodeResults(r Results) ([]byte, error) { return exp.EncodeResults(r) }
+
+// DecodeResults parses EncodeResults output, rejecting snapshots the
+// simulator could not have produced (unknown fields, negative
+// counters, out-of-range fractions, a broken stall-closure).
+func DecodeResults(data []byte) (Results, error) { return exp.DecodeResults(data) }
+
+// ResultCache is a content-addressed store for encoded measurements:
+// an in-memory LRU with a byte budget, optional disk persistence, and
+// singleflight dedup of concurrent identical computes. cmd/gpusimd
+// serves from one; gpusim -cache-dir reuses the same on-disk entries.
+type ResultCache = resultcache.Cache
+
+// ResultCacheOptions configures NewResultCache.
+type ResultCacheOptions = resultcache.Options
+
+// ResultCacheStats is a snapshot of a cache's hit/miss/eviction
+// counters.
+type ResultCacheStats = resultcache.Stats
+
+// ResultCacheCodeVersion stamps every cache key; it is bumped whenever
+// a simulator change moves any measured number, invalidating entries
+// produced by older code.
+const ResultCacheCodeVersion = resultcache.CodeVersion
+
+// NewResultCache builds a result cache.
+func NewResultCache(o ResultCacheOptions) (*ResultCache, error) { return resultcache.New(o) }
+
+// SimResultKey content-addresses one simulation: a SHA-256 over the
+// canonical JSON of (config, spec, seed, warmup, window) plus the
+// ResultCacheCodeVersion stamp. Equivalent job descriptions — e.g.
+// spec JSON with reordered keys — always share a key. Results are
+// pure functions of exactly these inputs, so the key fully determines
+// the encoded measurement stored under it.
+func SimResultKey(cfg Config, spec WorkloadSpec, warmup, window int64) (string, error) {
+	return resultcache.JobKey(cfg, spec, warmup, window)
+}
+
+// ExperimentServer is the HTTP/JSON experiment service behind
+// cmd/gpusimd: sweep submission over a bounded job queue, a
+// content-addressed result cache with singleflight dedup, and
+// graceful drain.
+type ExperimentServer = serve.Server
+
+// ExperimentServerOptions configures NewExperimentServer.
+type ExperimentServerOptions = serve.Options
+
+// NewExperimentServer builds the experiment service. Mount
+// Handler() on any mux or listener; call Drain on shutdown.
+func NewExperimentServer(o ExperimentServerOptions) (*ExperimentServer, error) { return serve.New(o) }

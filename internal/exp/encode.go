@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Results serialization.
+//
+// A sim.Results is a pure function of (config, workload spec, seed,
+// warmup, window): re-running the same job reproduces it bit for bit.
+// That makes serialized results content-addressable, but only if the
+// encoding itself is stable — same value, same bytes. EncodeResults
+// guarantees that: encoding/json emits struct fields in declaration
+// order, Go prints every float64 in its shortest round-tripping form,
+// and stats.StallBreakdown marshals its causes in a fixed order. The
+// result cache (internal/resultcache, cmd/gpusimd, gpusim -cache-dir)
+// stores exactly these bytes, so a cache hit is byte-identical to a
+// fresh run and a decoded snapshot renders the very report the live
+// simulation would have printed.
+
+// EncodeResults renders r as stable, compact JSON. It fails on values
+// JSON cannot represent exactly (NaN or infinite floats), which a
+// well-formed measurement never contains.
+func EncodeResults(r sim.Results) ([]byte, error) {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("exp: encode results: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeResults parses EncodeResults output and validates that the
+// snapshot is one a simulation could have produced: unknown fields,
+// negative counters and out-of-range fractions are rejected rather
+// than silently served from a corrupt or stale cache entry.
+func DecodeResults(data []byte) (sim.Results, error) {
+	var r sim.Results
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return sim.Results{}, fmt.Errorf("exp: decode results: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return sim.Results{}, fmt.Errorf("exp: decode results: trailing data")
+	}
+	if err := validateResults(r); err != nil {
+		return sim.Results{}, fmt.Errorf("exp: decode results: %w", err)
+	}
+	return r, nil
+}
+
+// validateResults checks the invariants every measurement window
+// satisfies by construction.
+func validateResults(r sim.Results) error {
+	counts := []struct {
+		name string
+		v    int64
+	}{
+		{"cycles", r.Cycles},
+		{"instructions", r.Instructions},
+		{"mem_instrs", r.MemInstrs},
+		{"transactions", r.Transactions},
+		{"dram_reads", r.DRAMReads},
+		{"dram_writes", r.DRAMWrites},
+		{"req_packets", r.ReqPackets},
+		{"resp_packets", r.RespPackets},
+		{"req_output_stall", r.ReqOutputStall},
+		{"resp_output_stall", r.RespOutputStall},
+		{"stall_no_warp", r.StallNoWarp},
+		{"stall_mshr", r.StallMSHR},
+		{"stall_missq", r.StallMissQ},
+		{"stall_res_fail", r.StallResFail},
+		{"stall_ldst_full", r.StallLDSTFull},
+		{"l1.accesses", r.L1.Accesses},
+		{"l1.hits", r.L1.Hits},
+		{"l1.misses", r.L1.Misses},
+		{"l2.accesses", r.L2.Accesses},
+		{"l2.hits", r.L2.Hits},
+		{"l2.misses", r.L2.Misses},
+	}
+	for _, c := range counts {
+		if c.v < 0 {
+			return fmt.Errorf("negative %s (%d)", c.name, c.v)
+		}
+	}
+	fracs := []struct {
+		name string
+		v    float64
+	}{
+		{"l1.miss_rate", r.L1.MissRate},
+		{"l2.miss_rate", r.L2.MissRate},
+		{"dram_row_hit_rate", r.DRAMRowHitRate},
+		{"dram_bus_util", r.DRAMBusUtil},
+		{"back_pressure.req_icnt", r.BackPressure.ReqIcntInFull},
+		{"back_pressure.resp_icnt", r.BackPressure.RespIcntInFull},
+		{"back_pressure.l2_access", r.BackPressure.L2AccessInFull},
+		{"back_pressure.dram_sched", r.BackPressure.DRAMSchedInFull},
+	}
+	for _, f := range fracs {
+		if f.v < 0 || f.v > 1 || f.v != f.v {
+			return fmt.Errorf("%s out of [0,1]: %v", f.name, f.v)
+		}
+	}
+	if r.IPC < 0 || r.AvgMissLatency < 0 || r.P95MissLatency < 0 {
+		return fmt.Errorf("negative rate or latency (ipc=%v avg=%v p95=%v)",
+			r.IPC, r.AvgMissLatency, r.P95MissLatency)
+	}
+	// The stall stack's closure invariant: every attributed cycle is an
+	// issue slot of the window, so the merged total is a multiple of
+	// the window length (cycles × SMs).
+	if t := r.Stalls.Total(); r.Cycles > 0 && t%r.Cycles != 0 {
+		return fmt.Errorf("stall total %d is not a multiple of the %d-cycle window", t, r.Cycles)
+	}
+	return nil
+}

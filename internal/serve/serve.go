@@ -1,0 +1,598 @@
+// Package serve exposes the experiment engine as a long-running
+// HTTP/JSON service — profiling as a service instead of a one-shot
+// CLI. Clients submit a workload (built-in name or inline JSON spec)
+// or a named sweep, and receive the serialized measurement.
+//
+// Three properties make the service safe to put in front of heavy
+// traffic:
+//
+//   - Content-addressed caching: results are pure functions of
+//     (config, spec, seed, warmup, window), so every completed job is
+//     stored in an internal/resultcache under a canonical hash of its
+//     description. A cache hit is byte-identical to a fresh run — the
+//     stored bytes ARE the response payload — and concurrent identical
+//     submissions collapse onto one simulation (singleflight).
+//   - Bounded admission: at most MaxConcurrent jobs simulate at once,
+//     at most QueueDepth more wait; beyond that the service sheds load
+//     with 503 instead of queueing unboundedly. Per-request
+//     parallelism is capped at MaxParallelism workers.
+//   - Graceful drain: Drain stops admitting new jobs (503 + Retry-
+//     After) and waits for in-flight simulations to finish, so a
+//     restart never truncates a measurement.
+//
+// Endpoints:
+//
+//	GET  /healthz               liveness + queue occupancy
+//	GET  /v1/workloads          built-in benchmark and scenario names
+//	GET  /v1/stats              cache and queue counters
+//	POST /v1/run                one measurement (name or inline spec)
+//	POST /v1/sweep/bottleneck   exp.RunBottleneckBreakdown over names
+//	POST /v1/sweep/scenarios    exp.RunScenarioSweep over scenarios
+//
+// Responses carry an X-Cache: hit|miss header; the JSON body of a hit
+// is byte-identical to the body the original miss returned.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/config"
+	"repro/internal/exp"
+	"repro/internal/resultcache"
+	"repro/internal/workload"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Config is the base architecture requests start from (scale,
+	// seed and fixed-latency knobs are applied per request). The zero
+	// value means the paper's GTX480 baseline.
+	Config *config.Config
+	// CacheDir persists the result cache; empty keeps it in memory.
+	CacheDir string
+	// CacheBytes is the in-memory cache budget (0 = resultcache
+	// default).
+	CacheBytes int64
+	// MaxConcurrent bounds simultaneously running jobs (0 = GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth bounds jobs waiting for a run slot (0 = 16;
+	// negative = no waiting, shed immediately).
+	QueueDepth int
+	// MaxParallelism caps the per-request worker count (0 = GOMAXPROCS).
+	MaxParallelism int
+	// MaxWindowCycles rejects requests measuring longer windows
+	// (warmup + window), protecting the service from unbounded jobs
+	// (0 = 10,000,000).
+	MaxWindowCycles int64
+}
+
+// Server is the experiment service. Build with New, mount Handler,
+// stop with Drain.
+type Server struct {
+	base        config.Config
+	cache       *resultcache.Cache
+	mux         *http.ServeMux
+	sem         chan struct{}
+	maxParallel int
+	maxWindow   int64
+	queueDepth  int
+
+	mu       sync.Mutex
+	waiting  int
+	draining bool
+	inflight sync.WaitGroup
+}
+
+// Shed-load sentinels, mapped to 503.
+var (
+	errDraining  = errors.New("serve: draining, not accepting new jobs")
+	errQueueFull = errors.New("serve: job queue full")
+)
+
+// New builds a Server.
+func New(o Options) (*Server, error) {
+	base := config.GTX480Baseline()
+	if o.Config != nil {
+		base = *o.Config
+	}
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	cache, err := resultcache.New(resultcache.Options{
+		MaxBytes: o.CacheBytes,
+		Dir:      o.CacheDir,
+		Validate: validateEntry,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 16
+	}
+	if o.QueueDepth < 0 {
+		o.QueueDepth = 0
+	}
+	if o.MaxParallelism <= 0 {
+		o.MaxParallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxWindowCycles <= 0 {
+		o.MaxWindowCycles = 10_000_000
+	}
+	s := &Server{
+		base:        base,
+		cache:       cache,
+		mux:         http.NewServeMux(),
+		sem:         make(chan struct{}, o.MaxConcurrent),
+		maxParallel: o.MaxParallelism,
+		maxWindow:   o.MaxWindowCycles,
+		queueDepth:  o.QueueDepth,
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/sweep/bottleneck", s.handleSweepBottleneck)
+	s.mux.HandleFunc("POST /v1/sweep/scenarios", s.handleSweepScenarios)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the result cache (tests and the stats endpoint).
+func (s *Server) Cache() *resultcache.Cache { return s.cache }
+
+// Drain stops admitting new jobs and waits for in-flight simulations
+// to finish, or for ctx to expire.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain: %w", ctx.Err())
+	}
+}
+
+// begin registers an about-to-run job unless the server is draining.
+// Every begin pairs with exactly one s.inflight.Done().
+func (s *Server) begin() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// acquire takes a run slot, waiting in the bounded queue. The caller
+// must already hold an inflight registration (begin).
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil // a slot was free, no queueing
+	default:
+	}
+	s.mu.Lock()
+	if s.waiting >= s.queueDepth {
+		s.mu.Unlock()
+		return errQueueFull
+	}
+	s.waiting++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.waiting--
+		s.mu.Unlock()
+	}()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: canceled while queued: %w", ctx.Err())
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// runJob is the one definition of "execute a simulation job on this
+// server": admission control around compute, returning the bytes to
+// cache.
+//
+// The context is detached from the initiating request: the job may be
+// a singleflight leader with other callers piggybacked on it, so the
+// first client disconnecting must not fail everyone else (or discard
+// a simulation whose result every later request would reuse). Load is
+// still bounded — the queue depth caps waiters and every simulation
+// window is finite.
+func (s *Server) runJob(ctx context.Context, compute func() ([]byte, error)) ([]byte, error) {
+	if !s.begin() {
+		return nil, errDraining
+	}
+	defer s.inflight.Done()
+	if err := s.acquire(context.WithoutCancel(ctx)); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	return compute()
+}
+
+// validateEntry vets result-cache entries loaded from disk before
+// they are served: run entries must decode as a valid Results
+// snapshot, sweep reports must at least be intact JSON. A truncated
+// or tampered file is recomputed, never trusted.
+func validateEntry(key string, val []byte) error {
+	if strings.HasPrefix(key, resultcache.RunKeyPrefix) {
+		_, err := exp.DecodeResults(val)
+		return err
+	}
+	if !json.Valid(val) {
+		return fmt.Errorf("serve: cache entry %s is not valid JSON", key)
+	}
+	return nil
+}
+
+// jobRequest is the shared request shape: methodology plus config
+// transforms. Field semantics match the gpusim flags of the same
+// names.
+type jobRequest struct {
+	// Workload is a built-in benchmark or scenario name; Spec is an
+	// inline JSON workload spec (exactly one of the two for /v1/run).
+	Workload string          `json:"workload,omitempty"`
+	Spec     json.RawMessage `json:"spec,omitempty"`
+	// Workloads scopes the sweep endpoints (default: the sweep's
+	// standard set).
+	Workloads []string `json:"workloads,omitempty"`
+
+	Seed         *uint64 `json:"seed,omitempty"`
+	Scale        string  `json:"scale,omitempty"`
+	FixedLatency *int64  `json:"fixed_latency,omitempty"`
+	Warmup       *int64  `json:"warmup_cycles,omitempty"`
+	Window       *int64  `json:"window_cycles,omitempty"`
+	// Parallelism asks for sweep workers; it is capped by the server's
+	// MaxParallelism and deliberately not part of the cache key
+	// (results are bit-identical at any worker count).
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// methodology resolves the request's config and run parameters
+// against the server's base and caps.
+func (s *Server) methodology(req jobRequest) (config.Config, exp.RunParams, error) {
+	cfg := s.base
+	if req.Scale != "" {
+		set, err := config.ParseScalingSet(req.Scale)
+		if err != nil {
+			return config.Config{}, exp.RunParams{}, err
+		}
+		cfg = set.Apply(cfg)
+	}
+	if req.Seed != nil {
+		cfg.Seed = *req.Seed
+	}
+	if req.FixedLatency != nil && *req.FixedLatency >= 0 {
+		cfg.FixedLatency = config.FixedLatencyConfig{Enabled: true, Cycles: *req.FixedLatency}
+	}
+	p := exp.DefaultRunParams()
+	if req.Warmup != nil {
+		p.WarmupCycles = *req.Warmup
+	}
+	if req.Window != nil {
+		p.WindowCycles = *req.Window
+	}
+	if p.WarmupCycles < 0 || p.WindowCycles <= 0 {
+		return config.Config{}, exp.RunParams{}, fmt.Errorf("warmup must be >= 0 and window > 0")
+	}
+	if total := p.WarmupCycles + p.WindowCycles; total > s.maxWindow {
+		return config.Config{}, exp.RunParams{}, fmt.Errorf("warmup+window %d exceeds the server cap %d", total, s.maxWindow)
+	}
+	p.Parallelism = req.Parallelism
+	if p.Parallelism <= 0 || p.Parallelism > s.maxParallel {
+		p.Parallelism = s.maxParallel
+	}
+	return cfg, p, nil
+}
+
+// handleRun measures one workload, serving cached bytes when the job
+// has run before.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := decodeRequest(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Workloads) > 0 {
+		// The list form belongs to the sweep endpoints; dropping it
+		// silently would run something other than what was asked for.
+		httpError(w, http.StatusBadRequest, fmt.Errorf("/v1/run takes one workload (or spec); a workloads list goes to /v1/sweep/*"))
+		return
+	}
+	var spec workload.Spec
+	switch {
+	case req.Workload != "" && len(req.Spec) > 0:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("workload and spec are mutually exclusive"))
+		return
+	case req.Workload != "":
+		sp, err := workload.SpecByName(req.Workload)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		spec = sp
+	case len(req.Spec) > 0:
+		sp, err := workload.ParseSpec(req.Spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		spec = sp
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("request needs a workload name or an inline spec"))
+		return
+	}
+	cfg, p, err := s.methodology(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if spec.Warps > cfg.Core.MaxWarpsPerSM {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("workload %s wants %d warps/SM, config allows %d", spec.SpecName, spec.Warps, cfg.Core.MaxWarpsPerSM))
+		return
+	}
+	key, err := resultcache.JobKey(cfg, spec, p.WarmupCycles, p.WindowCycles)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	val, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
+		return s.runJob(r.Context(), func() ([]byte, error) {
+			res, err := exp.Measure(cfg, spec, p)
+			if err != nil {
+				return nil, err
+			}
+			return exp.EncodeResults(res)
+		})
+	})
+	if err != nil {
+		httpError(w, errStatus(err), err)
+		return
+	}
+	writeEnvelope(w, hit, envelope{
+		Key: key, Kind: "measure", Workload: spec.SpecName,
+		WarmupCycles: p.WarmupCycles, WindowCycles: p.WindowCycles,
+		Results: val,
+	})
+}
+
+// handleSweepBottleneck runs the stall-attribution sweep over the
+// requested (or default) workloads.
+func (s *Server) handleSweepBottleneck(w http.ResponseWriter, r *http.Request) {
+	s.handleSweep(w, r, "bottleneck", defaultBottleneckNames,
+		func(cfg config.Config, specs []workload.Spec, p exp.RunParams) (any, error) {
+			wls := make([]workload.Workload, len(specs))
+			for i, sp := range specs {
+				wls[i] = sp
+			}
+			return exp.RunBottleneckBreakdown(cfg, wls, p)
+		})
+}
+
+// handleSweepScenarios runs the phase-structure sweep over the
+// requested (or all) multi-phase scenarios.
+func (s *Server) handleSweepScenarios(w http.ResponseWriter, r *http.Request) {
+	s.handleSweep(w, r, "scenarios", defaultScenarioNames,
+		func(cfg config.Config, specs []workload.Spec, p exp.RunParams) (any, error) {
+			return exp.RunScenarioSweep(cfg, specs, p)
+		})
+}
+
+// handleSweep is the shared sweep skeleton: resolve names to specs,
+// content-address the sweep, compute under admission control, serve
+// the stored report bytes.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request, kind string,
+	defaults func() []string,
+	run func(config.Config, []workload.Spec, exp.RunParams) (any, error)) {
+	var req jobRequest
+	if err := decodeRequest(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Workload != "" || len(req.Spec) > 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("sweeps take a workloads list, not workload/spec"))
+		return
+	}
+	names := req.Workloads
+	if len(names) == 0 {
+		names = defaults()
+	}
+	specs := make([]workload.Spec, len(names))
+	for i, n := range names {
+		sp, err := workload.SpecByName(n)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		specs[i] = sp
+	}
+	cfg, p, err := s.methodology(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := resultcache.SweepKey(kind, cfg, specs, p.WarmupCycles, p.WindowCycles)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	val, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
+		return s.runJob(r.Context(), func() ([]byte, error) {
+			rep, err := run(cfg, specs, p)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(rep)
+		})
+	})
+	if err != nil {
+		httpError(w, errStatus(err), err)
+		return
+	}
+	writeEnvelope(w, hit, envelope{
+		Key: key, Kind: "sweep-" + kind, Workloads: names,
+		WarmupCycles: p.WarmupCycles, WindowCycles: p.WindowCycles,
+		Report: val,
+	})
+}
+
+// defaultBottleneckNames mirrors exp.DefaultBottleneckWorkloads as
+// names.
+func defaultBottleneckNames() []string {
+	wls := exp.DefaultBottleneckWorkloads()
+	names := make([]string, len(wls))
+	for i, wl := range wls {
+		names[i] = wl.Name()
+	}
+	return names
+}
+
+// defaultScenarioNames lists the built-in multi-phase scenarios.
+func defaultScenarioNames() []string {
+	ss := workload.Scenarios()
+	names := make([]string, len(ss))
+	for i, sp := range ss {
+		names[i] = sp.SpecName
+	}
+	return names
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	waiting := s.waiting
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  status,
+		"active":  len(s.sem),
+		"waiting": waiting,
+	})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	suite := workload.Suite()
+	benches := make([]string, len(suite))
+	for i, wl := range suite {
+		benches[i] = wl.Name()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"benchmarks": benches,
+		"scenarios":  defaultScenarioNames(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	waiting := s.waiting
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cache": s.cache.Stats(),
+		"queue": map[string]any{
+			"active":      len(s.sem),
+			"waiting":     waiting,
+			"max_active":  cap(s.sem),
+			"queue_depth": s.queueDepth,
+		},
+	})
+}
+
+// envelope is the deterministic response body: cached payload bytes
+// wrapped in the (equally deterministic) job description, so a hit's
+// body is byte-identical to the original miss's.
+type envelope struct {
+	Key          string          `json:"key"`
+	Kind         string          `json:"kind"`
+	Workload     string          `json:"workload,omitempty"`
+	Workloads    []string        `json:"workloads,omitempty"`
+	WarmupCycles int64           `json:"warmup_cycles"`
+	WindowCycles int64           `json:"window_cycles"`
+	Results      json.RawMessage `json:"results,omitempty"`
+	Report       json.RawMessage `json:"report,omitempty"`
+}
+
+func writeEnvelope(w http.ResponseWriter, hit bool, env envelope) {
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, env)
+}
+
+// decodeRequest strictly parses the JSON request body: unknown fields
+// and trailing data are rejected, like every other parser in this
+// codebase — a concatenated second request must fail loudly, not be
+// silently dropped.
+func decodeRequest(r *http.Request, into *jobRequest) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("parse request: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("parse request: trailing data after the JSON body")
+	}
+	return nil
+}
+
+// errStatus maps job errors to HTTP codes: shed-load conditions are
+// 503 (retryable), everything else is a 500.
+func errStatus(err error) int {
+	if errors.Is(err, errDraining) || errors.Is(err, errQueueFull) {
+		return http.StatusServiceUnavailable
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(data)
+	w.Write([]byte("\n"))
+}

@@ -29,6 +29,21 @@
 // reports are bit-identical at any experiment-engine parallelism, and
 // golden-output tests (internal/exp/testdata) pin the exact bytes.
 //
+// # Results are pure functions
+//
+// A measurement window's Results is a pure function of (config,
+// workload spec, seed, warmup cycles, window cycles): nothing else —
+// not wall-clock time, host, goroutine schedule or worker count —
+// feeds the simulation, and every pseudo-random choice flows from the
+// seeded RNGs owned by the instance. This is the caching invariant
+// behind internal/resultcache and cmd/gpusimd: a serialized Results
+// can be stored under a canonical hash of exactly those inputs and
+// replayed later as a byte-identical substitute for re-running the
+// simulation. Any change that moves a measured number must bump
+// resultcache.CodeVersion (and regenerate the golden reports), so
+// stale cache entries stop matching instead of masquerading as
+// current.
+//
 // # Stall taxonomy
 //
 // Every core cycle of every SM is attributed to exactly one cause in
@@ -101,6 +116,12 @@ type GPU struct {
 	// SMs for determinism.
 	stallCause   stats.StallCause
 	stallCauseAt int64
+
+	// noFastForward disables the whole-GPU idle-span fast-forward in
+	// Run (SetIdleFastForward), forcing every cycle to step. Statistics
+	// must not change either way — the regression tests flip this to
+	// prove skipped spans account exactly what stepped cycles would.
+	noFastForward bool
 }
 
 // New builds a GPU running wl under cfg. The config is validated and
@@ -349,7 +370,7 @@ func (g *GPU) Step() {
 func (g *GPU) Run(n int64) {
 	end := g.coreCycle + n
 	for g.coreCycle < end {
-		if g.fixed != nil && g.allSMsQuiescent() {
+		if g.fixed != nil && !g.noFastForward && g.allSMsQuiescent() {
 			skipTo := end
 			if next, ok := g.fixed.nextReady(); ok && next < skipTo {
 				// Deliveries happen in the Step at cycle `next`;
@@ -378,6 +399,14 @@ func (g *GPU) allSMsQuiescent() bool {
 	}
 	return true
 }
+
+// SetIdleFastForward enables or disables the fixed-latency idle-span
+// fast-forward (enabled by default). Disabling it forces Run to step
+// through quiescent spans cycle by cycle; every statistic — cycle
+// counts, stall attribution, queue-occupancy samples and the
+// back-pressure denominators they feed — must be identical either
+// way, which the regression tests assert by flipping this switch.
+func (g *GPU) SetIdleFastForward(on bool) { g.noFastForward = !on }
 
 // Cycle returns the current core cycle.
 func (g *GPU) Cycle() int64 { return g.coreCycle }

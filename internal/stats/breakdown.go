@@ -1,6 +1,10 @@
 package stats
 
-import "fmt"
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
 
 // StallCause is one category of the per-cycle issue-slot attribution:
 // every core cycle an SM either issues or fails to, and the failure is
@@ -132,3 +136,55 @@ func (b *StallBreakdown) Dominant() StallCause {
 
 // Reset zeroes the breakdown for a new measurement window.
 func (b *StallBreakdown) Reset() { *b = StallBreakdown{} }
+
+// MarshalJSON renders the breakdown as an object keyed by cause label,
+// in cause order ({"issue":N,"scoreboard":N,...}). The encoding is
+// stable — same breakdown, same bytes — which is what lets serialized
+// sim.Results be content-addressed and compared byte-for-byte by the
+// result cache.
+func (b StallBreakdown) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for c := StallCause(0); c < NumStallCauses; c++ {
+		if c > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "%q:%d", c.String(), b.cycles[c])
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// UnmarshalJSON parses the MarshalJSON form. Unknown cause labels and
+// negative cycle counts are rejected: a decoded breakdown must be one
+// this code could have produced. Absent causes stay zero, so the
+// format tolerates a decoder that is newer than the encoder.
+func (b *StallBreakdown) UnmarshalJSON(data []byte) error {
+	var raw map[string]int64
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("stats: parse stall breakdown: %w", err)
+	}
+	var out StallBreakdown
+	for label, n := range raw {
+		cause, ok := causeByLabel(label)
+		if !ok {
+			return fmt.Errorf("stats: unknown stall cause %q", label)
+		}
+		if n < 0 {
+			return fmt.Errorf("stats: stall cause %q has negative cycles %d", label, n)
+		}
+		out.cycles[cause] = n
+	}
+	*b = out
+	return nil
+}
+
+// causeByLabel inverts StallCause.String.
+func causeByLabel(label string) (StallCause, bool) {
+	for c := StallCause(0); c < NumStallCauses; c++ {
+		if c.String() == label {
+			return c, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"strings"
+	"testing"
+)
+
+// TestParseSpecsErrorMessages pins the error paths the cache and the
+// CLIs rely on to fail loudly: each rejection must name the actual
+// problem, not just return a generic error.
+func TestParseSpecsErrorMessages(t *testing.T) {
+	cases := map[string]struct {
+		in   string
+		want string
+	}{
+		"empty spec list": {`[]`, "spec list is empty"},
+		"zero phase duration": {
+			`{"name":"x","warps":2,"dep_dist":1,"phases":[
+			   {"instructions":0,"access_pattern":"streaming","working_set_lines":64,"lines_per_access":1}]}`,
+			"instructions must be >= 1",
+		},
+		"region out of range": {
+			`{"name":"x","warps":2,"dep_dist":1,"phases":[
+			   {"instructions":10,"access_pattern":"streaming","working_set_lines":64,"lines_per_access":1,"region":64}]}`,
+			"region out of [0,64)",
+		},
+		"negative region": {
+			`{"name":"x","warps":2,"dep_dist":1,"phases":[
+			   {"instructions":10,"access_pattern":"streaming","working_set_lines":64,"lines_per_access":1,"region":-1}]}`,
+			"region out of [0,64)",
+		},
+		"duplicate spec names": {
+			`[{"name":"x","warps":2,"dep_dist":1,"access_pattern":"streaming","working_set_lines":64,"lines_per_access":1},
+			  {"name":"x","warps":2,"dep_dist":1,"access_pattern":"thrash","working_set_lines":64,"lines_per_access":1}]`,
+			`duplicate spec name "x"`,
+		},
+	}
+	for name, tc := range cases {
+		_, err := ParseSpecs([]byte(tc.in))
+		if err == nil {
+			t.Errorf("%s: expected an error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestCanonicalJSONKeyOrderStable: the same spec expressed with
+// reordered JSON keys, extra whitespace and explicit zero-valued
+// optional fields must canonicalize to the same bytes — and therefore
+// to the same content-address in the result cache.
+func TestCanonicalJSONKeyOrderStable(t *testing.T) {
+	a := `{"name":"probe","warps":4,"dep_dist":2,"compute_per_mem":3,
+	       "access_pattern":"strided","working_set_lines":512,
+	       "lines_per_access":2,"stride_lines":17,"shared":true}`
+	b := `{
+	  "shared": true,
+	  "stride_lines": 17,
+	  "lines_per_access": 2,
+	  "working_set_lines": 512,
+	  "access_pattern": "strided",
+	  "store_frac": 0,
+	  "hit_frac": 0,
+	  "compute_per_mem": 3,
+	  "dep_dist": 2,
+	  "warps": 4,
+	  "name": "probe"
+	}`
+	ca := canonical(t, a)
+	cb := canonical(t, b)
+	if string(ca) != string(cb) {
+		t.Fatalf("reordered keys changed the canonical form:\n%s\nvs\n%s", ca, cb)
+	}
+	if sha256.Sum256(ca) != sha256.Sum256(cb) {
+		t.Fatal("hash differs for equivalent specs")
+	}
+
+	// A genuinely different spec must hash differently.
+	c := strings.Replace(a, `"stride_lines":17`, `"stride_lines":18`, 1)
+	if cc := canonical(t, c); string(cc) == string(ca) {
+		t.Fatal("different specs share a canonical form")
+	}
+
+	// Multi-phase specs canonicalize stably too.
+	p1 := `{"name":"mp","warps":2,"dep_dist":1,"phases":[
+	         {"instructions":10,"access_pattern":"streaming","working_set_lines":64,"lines_per_access":1,"region":1}]}`
+	p2 := `{"phases":[
+	         {"region":1,"lines_per_access":1,"working_set_lines":64,"access_pattern":"streaming","instructions":10}],
+	        "dep_dist":1,"warps":2,"name":"mp"}`
+	if string(canonical(t, p1)) != string(canonical(t, p2)) {
+		t.Fatal("reordered phase keys changed the canonical form")
+	}
+
+	// Canonicalizing an invalid spec fails instead of hashing garbage.
+	if _, err := (Spec{SpecName: "bad"}).CanonicalJSON(); err == nil {
+		t.Fatal("invalid spec canonicalized")
+	}
+}
+
+func canonical(t *testing.T, in string) []byte {
+	t.Helper()
+	s, err := ParseSpec([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -66,6 +66,24 @@ func (s Spec) ToJSON() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
 }
 
+// CanonicalJSON renders the validated spec in the canonical form used
+// for content-addressing: compact, with fields in struct declaration
+// order and zero-valued optional fields omitted. Any JSON accepted by
+// ParseSpec — whatever its key order, whitespace or explicit zero
+// fields — re-serializes to the same canonical bytes, so hashing them
+// gives a stable cache key for the simulations the spec drives
+// (internal/resultcache).
+func (s Spec) CanonicalJSON() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("workload: canonicalize spec %s: %w", s.SpecName, err)
+	}
+	return data, nil
+}
+
 // trailingData rejects garbage after the decoded JSON value.
 func trailingData(dec *json.Decoder) error {
 	if _, err := dec.Token(); err != io.EOF {

@@ -1,0 +1,83 @@
+package gpgpumem_test
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	gpgpumem "repro"
+)
+
+// TestResultCachePublicAPI drives the caching surface exactly as an
+// embedding application would: key a job, miss, measure, encode,
+// store, reload from disk, decode, and get the same snapshot back.
+func TestResultCachePublicAPI(t *testing.T) {
+	cfg := gpgpumem.DefaultConfig()
+	spec, err := gpgpumem.ParseWorkloadSpec([]byte(
+		`{"name":"probe","warps":4,"dep_dist":2,"compute_per_mem":3,
+		  "access_pattern":"thrash","working_set_lines":4096,"lines_per_access":2,"shared":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const warmup, window = 200, 600
+	key, err := gpgpumem.SimResultKey(cfg, spec, warmup, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cache, err := gpgpumem.NewResultCache(gpgpumem.ResultCacheOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+
+	sys, err := gpgpumem.NewSystem(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sys.Measure(warmup, window)
+	enc, err := gpgpumem.EncodeResults(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(key, enc)
+
+	reopened, err := gpgpumem.NewResultCache(gpgpumem.ResultCacheOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok := reopened.Get(key)
+	if !ok || !bytes.Equal(data, enc) {
+		t.Fatalf("persisted entry not byte-identical: ok=%v", ok)
+	}
+	back, err := gpgpumem.DecodeResults(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, res) {
+		t.Fatalf("decoded snapshot differs:\n%+v\nvs\n%+v", back, res)
+	}
+	if st := reopened.Stats(); st.DiskHits != 1 {
+		t.Fatalf("expected one disk hit, got %+v", st)
+	}
+
+	// The experiment server mounts on any mux through the public API.
+	srv, err := gpgpumem.NewExperimentServer(gpgpumem.ExperimentServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}
