@@ -338,6 +338,36 @@ func (c *Cache) Probe(addr uint64) AccessResult {
 	return Miss
 }
 
+// ProbeAndConsumeHit is the fused form of Probe followed by — only
+// when the probe finds a plain Hit — the counting Lookup, in a single
+// set scan. It exists for pipelines whose hit path has no feasibility
+// gate between the probe and the consuming lookup (the L1 load path):
+// there a Hit is always consumed immediately, and re-scanning the set
+// to commit it is pure overhead. HitReserved and Miss results count
+// nothing, exactly like Probe; the caller runs its gates and then the
+// usual Lookup.
+func (c *Cache) ProbeAndConsumeHit(addr uint64, isWrite bool, now int64) AccessResult {
+	set := c.sets[c.SetIndex(addr)]
+	tag := c.tag(addr)
+	for i := range set {
+		ln := &set[i]
+		if ln.state == Invalid || ln.tag != tag {
+			continue
+		}
+		if ln.state == Reserved {
+			return HitReserved
+		}
+		ln.lastUse = now
+		if isWrite && c.cfg.WriteBack {
+			ln.dirty = true
+		}
+		c.stats.Accesses++
+		c.stats.Hits++
+		return Hit
+	}
+	return Miss
+}
+
 // CanReserve reports whether Reserve for addr would succeed: the set
 // has an Invalid way or an evictable Valid way.
 func (c *Cache) CanReserve(addr uint64) bool {

@@ -12,7 +12,14 @@ import (
 // the paper's §I implication ② ("prolonged contention of cache
 // resources such as MSHRs ... serializes succeeding requests").
 type MSHR struct {
-	entries  map[uint64]*MSHREntry
+	// lines and live are parallel: lines[i] is live[i].LineAddr. The
+	// table is searched linearly over the compact lines slice — with
+	// at most maxEntry (32–128) live misses, and usually far fewer, a
+	// cache-friendly word scan beats a map lookup on the hot
+	// allocate/release path. Slot order is not meaningful (Release
+	// swap-removes); nothing iterates the table.
+	lines    []uint64
+	live     []*MSHREntry
 	free     []*MSHREntry // released entries, reused by Allocate
 	maxEntry int
 	maxMerge int
@@ -76,15 +83,27 @@ func NewMSHR(maxEntry, maxMerge int) *MSHR {
 		panic(fmt.Sprintf("mshr: sizes must be positive, got %d/%d", maxEntry, maxMerge))
 	}
 	return &MSHR{
-		entries:  make(map[uint64]*MSHREntry, maxEntry),
+		lines:    make([]uint64, 0, maxEntry),
+		live:     make([]*MSHREntry, 0, maxEntry),
 		maxEntry: maxEntry,
 		maxMerge: maxMerge,
 	}
 }
 
+// find returns the slot index of lineAddr, or -1.
+func (m *MSHR) find(lineAddr uint64) int {
+	for i, l := range m.lines {
+		if l == lineAddr {
+			return i
+		}
+	}
+	return -1
+}
+
 // Allocate records a miss on lineAddr for req.
 func (m *MSHR) Allocate(lineAddr uint64, req *mem.Request, now int64) AllocResult {
-	if e, ok := m.entries[lineAddr]; ok {
+	if i := m.find(lineAddr); i >= 0 {
+		e := m.live[i]
 		if len(e.Requests) >= m.maxMerge {
 			m.stats.MergeFails++
 			return AllocStallMerge
@@ -93,7 +112,7 @@ func (m *MSHR) Allocate(lineAddr uint64, req *mem.Request, now int64) AllocResul
 		m.stats.Merges++
 		return AllocMerged
 	}
-	if len(m.entries) >= m.maxEntry {
+	if len(m.live) >= m.maxEntry {
 		m.stats.FullStalls++
 		return AllocStallFull
 	}
@@ -112,16 +131,22 @@ func (m *MSHR) Allocate(lineAddr uint64, req *mem.Request, now int64) AllocResul
 		}
 		e.Requests[0] = req
 	}
-	m.entries[lineAddr] = e
+	m.lines = append(m.lines, lineAddr)
+	m.live = append(m.live, e)
 	m.stats.Allocs++
-	if n := len(m.entries); n > m.stats.PeakUsed {
+	if n := len(m.live); n > m.stats.PeakUsed {
 		m.stats.PeakUsed = n
 	}
 	return AllocNew
 }
 
 // Lookup returns the entry for lineAddr, or nil.
-func (m *MSHR) Lookup(lineAddr uint64) *MSHREntry { return m.entries[lineAddr] }
+func (m *MSHR) Lookup(lineAddr uint64) *MSHREntry {
+	if i := m.find(lineAddr); i >= 0 {
+		return m.live[i]
+	}
+	return nil
+}
 
 // Release completes the miss on lineAddr and returns all merged
 // requests for response generation. Releasing an absent line panics:
@@ -131,31 +156,36 @@ func (m *MSHR) Lookup(lineAddr uint64) *MSHREntry { return m.entries[lineAddr] }
 // it is valid only until the next Allocate on this MSHR. Callers
 // consume it immediately (the simulator's tick functions do).
 func (m *MSHR) Release(lineAddr uint64) []*mem.Request {
-	e, ok := m.entries[lineAddr]
-	if !ok {
+	i := m.find(lineAddr)
+	if i < 0 {
 		panic(fmt.Sprintf("mshr: Release(%#x) without entry", lineAddr))
 	}
-	delete(m.entries, lineAddr)
+	e := m.live[i]
+	last := len(m.live) - 1
+	m.lines[i] = m.lines[last]
+	m.live[i] = m.live[last]
+	m.lines = m.lines[:last]
+	m.live = m.live[:last]
 	m.free = append(m.free, e)
 	return e.Requests
 }
 
 // Used returns the number of live entries.
-func (m *MSHR) Used() int { return len(m.entries) }
+func (m *MSHR) Used() int { return len(m.live) }
 
 // Full reports whether no entry can be allocated.
-func (m *MSHR) Full() bool { return len(m.entries) >= m.maxEntry }
+func (m *MSHR) Full() bool { return len(m.live) >= m.maxEntry }
 
 // Stats returns a copy of the event counters.
 func (m *MSHR) Stats() MSHRStats { return m.stats }
 
 // ResetStats zeroes the event counters for a new measurement window;
 // live entries are untouched and seed the new peak.
-func (m *MSHR) ResetStats() { m.stats = MSHRStats{PeakUsed: len(m.entries)} }
+func (m *MSHR) ResetStats() { m.stats = MSHRStats{PeakUsed: len(m.live)} }
 
 // CanMerge reports whether a secondary miss on lineAddr could merge
 // into the existing entry without stalling.
 func (m *MSHR) CanMerge(lineAddr uint64) bool {
-	e, ok := m.entries[lineAddr]
-	return ok && len(e.Requests) < m.maxMerge
+	i := m.find(lineAddr)
+	return i >= 0 && len(m.live[i].Requests) < m.maxMerge
 }

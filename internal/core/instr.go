@@ -38,21 +38,55 @@ type Instr struct {
 	// instruction (one entry per active lane); the coalescer reduces
 	// them to line transactions.
 	Lanes []uint64
+	// Lines, when non-nil, holds the distinct line-aligned addresses
+	// that Coalesce(Lanes, lineSize) would produce, in first-appearance
+	// order — the stream has already coalesced the access. Consumers
+	// use it directly and skip the per-lane reduction; a stream that
+	// provides Lines may omit Lanes entirely (the workload generators
+	// do: their lanes are pure expansions of the line list, so
+	// materializing 32 lane addresses per memory instruction only to
+	// re-reduce them was the single hottest loop in the issue path).
+	// Like Lanes, the backing array is only valid until the next
+	// NextInto call.
+	Lines []uint64
 	// DepDist is, for loads, the number of subsequent instructions
 	// that are independent of the loaded value: the warp may run that
 	// far ahead before blocking. Larger values model more
 	// instruction-level latency tolerance.
 	DepDist int
+	// Run is the number of consecutive identical instructions this
+	// Instr stands for; 0 and 1 both mean a single instruction.
+	// Streams batch uniform compute (non-Mem) stretches into one
+	// Run>1 Instr so the per-instruction stream call disappears from
+	// the issue hot path; the SM still issues the run one
+	// instruction per slot, decrementing Run in place. Memory
+	// instructions are never batched (Run <= 1).
+	Run int
 }
 
 // InstrStream produces a warp's dynamic instruction stream. Streams
 // are infinite; the simulator measures IPC over a fixed cycle window.
 //
-// A stream may reuse the Lanes backing array: the slice returned by
-// one Next call is only valid until the next call. Consumers (the SM)
+// NextInto writes the next instruction into *in rather than returning
+// it: the fetch path runs once per issued instruction and the in-place
+// form spares a 40-byte struct copy through the interface boundary.
+// For non-Mem kinds only Kind is meaningful — an implementation may
+// leave the other fields stale from a previous call, and consumers
+// must not read them.
+//
+// A stream may reuse the Lanes backing array: the slice written by one
+// NextInto call is only valid until the next call. Consumers (the SM)
 // coalesce Lanes into their own storage before fetching again.
 type InstrStream interface {
-	Next() Instr
+	NextInto(in *Instr)
+}
+
+// NextOf is the convenience value form of InstrStream.NextInto, for
+// callers outside the per-cycle hot path (trace recording, tests).
+func NextOf(s InstrStream) Instr {
+	var in Instr
+	s.NextInto(&in)
+	return in
 }
 
 // Coalesce reduces per-lane addresses to the distinct cache lines they

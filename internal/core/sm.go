@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/config"
@@ -36,6 +37,7 @@ type Backend interface {
 type loadTracker struct {
 	remaining int   // transactions still in flight
 	blockIdx  int64 // first dependent instruction index
+	warp      int32 // owning warp id (readiness re-evaluation target)
 }
 
 // warp is one resident warp's execution state.
@@ -64,7 +66,7 @@ type warp struct {
 // fetch ensures w.cur holds the next instruction and returns it.
 func (w *warp) fetch() *Instr {
 	if !w.hasCur {
-		w.cur = w.stream.Next()
+		w.stream.NextInto(&w.cur)
 		w.hasCur = true
 	}
 	return &w.cur
@@ -150,8 +152,22 @@ type SM struct {
 	id  int
 	cfg config.Config
 
-	warps      []*warp
+	// warps lives in one contiguous value slice (not a slice of
+	// pointers) so the scheduler's hot state walks cache lines, not
+	// the heap. The slice is never reallocated, so *warp pointers
+	// into it (memDrain.w) stay valid.
+	warps      []warp
 	lastIssued int // scheduler state (GTO stickiness / LRR pointer)
+
+	// ready has bit w set when warp w holds a fetched instruction the
+	// scoreboard allows issuing now (modulo the shared mem-issue
+	// register, masked at pick time via memCur); memCur has bit w set
+	// when warp w's fetched instruction is a memory op. Readiness only
+	// changes at instruction issue and at load-tracker completion, so
+	// evalWarp maintains the masks event-driven and the per-cycle
+	// scheduler scan collapses to a few bit operations.
+	ready  uint64
+	memCur uint64
 
 	l1      *cache.Cache
 	mshr    *cache.MSHR
@@ -168,7 +184,6 @@ type SM struct {
 	stats    Stats
 	stalls   stats.StallBreakdown // per-cycle issue-slot attribution
 	missLat  *stats.Sampler       // L1 miss round-trip latency, core cycles
-	issuedAt []int64              // last cycle each warp issued (scratch, no per-cycle clear)
 
 	pool        *mem.Pool      // request/packet recycling (nil: plain allocation)
 	coalesceBuf []uint64       // scratch for the coalescer (one drain at a time)
@@ -180,6 +195,14 @@ type SM struct {
 	// fast path that applies exactly the stat deltas a full tick
 	// would (Cycles, StallNoWarp, empty-queue samples).
 	idle bool
+
+	// sleepUntil is the hit-wait analogue of idle: every queue is
+	// empty and no warp can issue, but the hit pipe holds in-flight L1
+	// hits, the oldest completing at sleepUntil. Until then (or until
+	// a response delivery clears it) a full Tick is a provable no-op,
+	// so Tick takes the same O(1) fast path. Zero means "no hit-wait"
+	// — any value <= the current cycle is treated as active.
+	sleepUntil int64
 }
 
 // NewSM builds SM id with the given warp instruction streams. nextID
@@ -188,15 +211,19 @@ func NewSM(id int, cfg config.Config, streams []InstrStream, backend Backend, ne
 	if len(streams) == 0 || len(streams) > cfg.Core.MaxWarpsPerSM {
 		panic(fmt.Sprintf("core: warp count %d out of range 1..%d", len(streams), cfg.Core.MaxWarpsPerSM))
 	}
-	warps := make([]*warp, len(streams))
+	if len(streams) > 64 {
+		panic(fmt.Sprintf("core: ready-mask scheduler supports at most 64 warps per SM, got %d", len(streams)))
+	}
+	switch cfg.Core.Scheduler {
+	case "gto", "lrr":
+	default:
+		panic(fmt.Sprintf("core: unknown scheduler %q", cfg.Core.Scheduler))
+	}
+	warps := make([]warp, len(streams))
 	for i, s := range streams {
-		warps[i] = &warp{id: i, stream: s}
+		warps[i] = warp{id: i, stream: s}
 	}
-	issuedAt := make([]int64, len(streams))
-	for i := range issuedAt {
-		issuedAt[i] = -1
-	}
-	return &SM{
+	sm := &SM{
 		id:    id,
 		cfg:   cfg,
 		warps: warps,
@@ -213,9 +240,15 @@ func NewSM(id int, cfg config.Config, streams []InstrStream, backend Backend, ne
 		nextID:      nextID,
 		lineSize:    uint64(cfg.L1.LineSize),
 		missLat:     stats.NewSampler(8192, 128),
-		issuedAt:    issuedAt,
 		coalesceBuf: make([]uint64, 0, 32),
 	}
+	// Prime the readiness masks. This fetches each warp's first
+	// instruction; streams are private per warp, so consuming them at
+	// construction instead of first issue changes nothing observable.
+	for i := range warps {
+		sm.evalWarp(i)
+	}
+	return sm
 }
 
 // UsePool wires the simulation-wide request/packet free lists into
@@ -230,6 +263,7 @@ func (s *SM) DeliverResponse(pkt *mem.Packet) bool {
 		return false
 	}
 	s.idle = false
+	s.sleepUntil = 0
 	return true
 }
 
@@ -271,18 +305,39 @@ func (s *SM) Pending() int {
 // in fixed-latency mode.
 func (s *SM) Quiescent() bool { return s.idle }
 
-// SkipIdle accounts n quiescent cycles in one call: the exact stat
-// deltas of n idle Ticks (cycle and no-warp-stall counts, empty-queue
-// occupancy samples, memory-wait stall attribution) without executing
-// them. The caller must ensure the SM is Quiescent and receives no
-// response in the skipped span. A quiescent SM is by construction
-// waiting on outstanding L1 misses — with every queue and pipe empty,
-// only a fill can unblock a warp — so the whole span is charged to
-// the backend's current memory-stall cause.
+// SleepUntil reports the SM's next interesting cycle — the first
+// cycle at which a full Tick could do anything a SkipIdle would not:
+// math.MaxInt64 while idle (only a DeliverResponse wakes it), the
+// oldest in-flight L1 hit's completion cycle while hit-waiting, and a
+// value <= the current cycle (meaning "tick me every cycle")
+// otherwise. Ticks strictly before the returned cycle are exactly
+// SkipIdle ticks, which is what lets the event engine batch them.
+func (s *SM) SleepUntil() int64 {
+	if s.idle {
+		return math.MaxInt64
+	}
+	return s.sleepUntil
+}
+
+// SkipIdle accounts n frozen cycles in one call: the exact stat
+// deltas of n fast-path Ticks (cycle and no-warp-stall counts,
+// empty-queue occupancy samples, stall attribution) without executing
+// them. The caller must ensure the SM stays frozen (idle, or
+// hit-waiting short of SleepUntil) and receives no response in the
+// skipped span. With outstanding L1 misses the span is charged to the
+// backend's current memory-stall cause — an idle SM is by
+// construction waiting on fills, and queue fullness below is frozen
+// too, so the cause is constant across the span. With none (a pure
+// hit-wait), the wait is a dependency on in-flight L1 hits, charged
+// to the scoreboard exactly as a full tick's stallCause would.
 func (s *SM) SkipIdle(n int64) {
 	s.stats.Cycles += n
 	s.stats.StallNoWarp += n
-	s.stalls.AddN(s.backend.MemStallCause(), n)
+	cause := stats.StallScoreboard
+	if s.mshr.Used() > 0 {
+		cause = s.backend.MemStallCause()
+	}
+	s.stalls.AddN(cause, n)
 	s.ldstQ.SampleN(n)
 	s.missQ.SampleN(n)
 	s.respQ.SampleN(n)
@@ -290,10 +345,11 @@ func (s *SM) SkipIdle(n int64) {
 
 // Tick advances the SM by one core cycle.
 func (s *SM) Tick(cycle int64) {
-	if s.idle {
+	if s.idle || cycle < s.sleepUntil {
 		s.SkipIdle(1)
 		return
 	}
+	s.sleepUntil = 0
 	s.stats.Cycles++
 	s.processResponses(cycle)
 	s.completeHits(cycle)
@@ -319,6 +375,9 @@ func (s *SM) processResponses(cycle int64) {
 	for _, r := range s.mshr.Release(line) {
 		if lt, ok := r.Meta.(*loadTracker); ok && lt != nil {
 			lt.remaining--
+			if lt.remaining == 0 {
+				s.evalWarp(int(lt.warp))
+			}
 		}
 		s.missLat.Add(float64(cycle - r.IssueCycle))
 		// The released request's last reference dies here (the
@@ -338,6 +397,9 @@ func (s *SM) completeHits(cycle int64) {
 		}
 		s.hitPipe.Pop()
 		h.tracker.remaining--
+		if h.tracker.remaining == 0 {
+			s.evalWarp(int(h.tracker.warp))
+		}
 	}
 }
 
@@ -365,9 +427,11 @@ func (s *SM) accessL1(cycle int64) {
 		return
 	}
 
-	switch s.l1.Probe(line) {
+	// The Hit arm has no feasibility gate, so the fused call commits
+	// the hit in the same set scan that classifies the access;
+	// HitReserved/Miss count nothing until their gates pass.
+	switch s.l1.ProbeAndConsumeHit(line, false, cycle) {
 	case cache.Hit:
-		s.l1.Lookup(line, false, cycle)
 		s.hitPipe.Push(hitDone{doneAt: cycle + s.cfg.L1.HitLatency, tracker: t.tracker})
 		s.ldstQ.Pop()
 		// An L1 hit never leaves the core: the request retires here
@@ -455,28 +519,38 @@ func (s *SM) drainMemInstr() {
 }
 
 // issue runs the warp scheduler: up to IssueWidth warps issue one
-// instruction each.
+// instruction each, selected from the ready mask.
 func (s *SM) issue(cycle int64) {
 	issued := 0
+	var issuedNow uint64 // warps already issued this cycle
 	for slot := 0; slot < s.cfg.Core.IssueWidth; slot++ {
-		w := s.pickWarp(cycle)
-		if w == nil {
+		cand := s.ready &^ issuedNow
+		if s.drainOn {
+			cand &^= s.memCur // single mem-issue register per SM
+		}
+		if cand == 0 {
 			break
 		}
-		s.issueOn(w, cycle)
-		s.issuedAt[w.id] = cycle
-		s.lastIssued = w.id
+		wid := s.pickWarp(cand)
+		s.issueOn(&s.warps[wid], cycle)
+		s.evalWarp(wid)
+		issuedNow |= uint64(1) << uint(wid)
+		s.lastIssued = wid
 		issued++
 	}
 	if issued == 0 {
 		s.stats.StallNoWarp++
 		s.stalls.Add(s.stallCause())
-		// Nothing issued and nothing in flight: the SM is frozen
-		// until a response arrives, so later Ticks can take the idle
-		// fast path (same stats, none of the work).
-		if !s.drainOn && s.hitPipe.Empty() &&
-			s.respQ.Empty() && s.ldstQ.Empty() && s.missQ.Empty() {
-			s.idle = true
+		// Nothing issued and nothing in the queues: the SM is frozen
+		// until either a response arrives (idle) or the oldest
+		// in-flight L1 hit retires (hit-wait), so later Ticks can take
+		// the fast path (same stats, none of the work).
+		if !s.drainOn && s.respQ.Empty() && s.ldstQ.Empty() && s.missQ.Empty() {
+			if h, ok := s.hitPipe.Peek(); ok {
+				s.sleepUntil = h.doneAt
+			} else {
+				s.idle = true
+			}
 		}
 	} else {
 		s.stalls.Add(stats.StallIssue)
@@ -501,24 +575,31 @@ func (s *SM) stallCause() stats.StallCause {
 	}
 }
 
-// canIssue reports whether warp w may issue its next instruction now.
-func (s *SM) canIssue(w *warp, cycle int64) bool {
-	if s.issuedAt[w.id] == cycle || w.blocked() {
-		return false
+// evalWarp recomputes warp wid's readiness bits. It must run after
+// anything that can change them: instruction issue (new fetched cur,
+// possibly a new tracker) and load-tracker completion (which can
+// unblock the scoreboard or free pending-load budget). The shared
+// mem-issue register (drainOn) is deliberately NOT consulted here —
+// it flips mid-cycle, so the scheduler masks memCur at pick time.
+func (s *SM) evalWarp(wid int) {
+	bit := uint64(1) << uint(wid)
+	s.ready &^= bit
+	s.memCur &^= bit
+	w := &s.warps[wid]
+	if w.blocked() {
+		return
 	}
 	in := w.fetch()
 	if in.Kind == Mem {
-		if s.drainOn {
-			return false // single mem-issue register per SM
-		}
+		s.memCur |= bit
 		if !in.Store && len(w.loads) >= maxPendingLoadsPerWarp {
 			s.pruneLoads(w)
 			if len(w.loads) >= maxPendingLoadsPerWarp {
-				return false
+				return // pending-load (scoreboard register) budget exhausted
 			}
 		}
 	}
-	return true
+	s.ready |= bit
 }
 
 // pruneLoads drops w's completed trackers, recycling them.
@@ -544,37 +625,36 @@ func (s *SM) getTracker() *loadTracker {
 	return &loadTracker{}
 }
 
-// pickWarp selects the next warp per the configured policy.
-func (s *SM) pickWarp(cycle int64) *warp {
-	n := len(s.warps)
-	switch s.cfg.Core.Scheduler {
-	case "gto":
-		// Greedy: stick with the last-issued warp...
-		if w := s.warps[s.lastIssued]; s.canIssue(w, cycle) {
-			return w
+// pickWarp selects a warp id from the non-empty candidate mask per
+// the configured policy.
+func (s *SM) pickWarp(cand uint64) int {
+	if s.cfg.Core.Scheduler == "gto" {
+		// Greedy: stick with the last-issued warp, else oldest
+		// (lowest id) candidate.
+		if cand&(uint64(1)<<uint(s.lastIssued)) != 0 {
+			return s.lastIssued
 		}
-		// ...then oldest (lowest id) ready warp.
-		for i := 0; i < n; i++ {
-			if w := s.warps[i]; s.canIssue(w, cycle) {
-				return w
-			}
-		}
-	case "lrr":
-		for k := 1; k <= n; k++ {
-			if w := s.warps[(s.lastIssued+k)%n]; s.canIssue(w, cycle) {
-				return w
-			}
-		}
-	default:
-		panic(fmt.Sprintf("core: unknown scheduler %q", s.cfg.Core.Scheduler))
+		return bits.TrailingZeros64(cand)
 	}
-	return nil
+	// lrr: first candidate in the order lastIssued+1, ..., n-1, 0,
+	// ..., lastIssued. (lastIssued+1 may equal 64; a 64-bit shift of
+	// a uint64 is defined as zero, making the high mask empty.)
+	if hi := cand &^ (uint64(1)<<uint(s.lastIssued+1) - 1); hi != 0 {
+		return bits.TrailingZeros64(hi)
+	}
+	return bits.TrailingZeros64(cand)
 }
 
 // issueOn issues warp w's fetched instruction.
 func (s *SM) issueOn(w *warp, cycle int64) {
-	in := w.cur
-	w.hasCur = false
+	in := &w.cur
+	if in.Run > 1 {
+		// Mid-run compute instruction: consume one unit and keep the
+		// batched Instr current — no stream call until the run ends.
+		in.Run--
+	} else {
+		w.hasCur = false
+	}
 	w.idx++
 	w.issued++
 	s.stats.Instructions++
@@ -582,7 +662,14 @@ func (s *SM) issueOn(w *warp, cycle int64) {
 		return
 	}
 	s.stats.MemInstrs++
-	s.coalesceBuf = CoalesceInto(s.coalesceBuf, in.Lanes, s.lineSize)
+	if in.Lines != nil {
+		// The stream pre-coalesced the access; the copy (into the
+		// SM-owned buffer, since the stream invalidates in.Lines on
+		// the warp's next fetch) replaces the per-lane reduction.
+		s.coalesceBuf = append(s.coalesceBuf[:0], in.Lines...)
+	} else {
+		s.coalesceBuf = CoalesceInto(s.coalesceBuf, in.Lanes, s.lineSize)
+	}
 	lines := s.coalesceBuf
 	if len(lines) == 0 {
 		return
@@ -602,7 +689,7 @@ func (s *SM) issueOn(w *warp, cycle int64) {
 		// The load was instruction w.idx-1; dep subsequent instructions
 		// are independent, so the first dependent one is at w.idx-1+dep+1.
 		lt := s.getTracker()
-		*lt = loadTracker{remaining: len(lines), blockIdx: w.idx + int64(dep)}
+		*lt = loadTracker{remaining: len(lines), blockIdx: w.idx + int64(dep), warp: int32(w.id)}
 		w.loads = append(w.loads, lt)
 		if lt.blockIdx < w.minBlock {
 			w.minBlock = lt.blockIdx

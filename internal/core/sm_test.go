@@ -14,13 +14,13 @@ type scriptStream struct {
 	pos    int
 }
 
-func (s *scriptStream) Next() Instr {
+func (s *scriptStream) NextInto(in *Instr) {
 	if s.pos < len(s.instrs) {
-		in := s.instrs[s.pos]
+		*in = s.instrs[s.pos]
 		s.pos++
-		return in
+		return
 	}
-	return Instr{Kind: ALU}
+	*in = Instr{Kind: ALU}
 }
 
 // testBackend records miss traffic and lets tests answer it manually.

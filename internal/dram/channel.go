@@ -55,11 +55,20 @@ type inflight struct {
 	completeAt int64
 }
 
+// schedEntry pairs a queued request with its channel-local DRAM
+// coordinate, decoded once at enqueue. The FR-FCFS scan touches every
+// queued entry every cycle, so re-deriving the coordinate there (a
+// handful of divisions per entry) would dominate the scheduler's cost.
+type schedEntry struct {
+	req *mem.Request
+	co  Coord
+}
+
 // Channel is one GDDR channel: scheduler queue, banks, data bus.
 type Channel struct {
 	cfg     config.DRAMConfig
 	addrMap AddrMap
-	schedQ  *queue.Queue[*mem.Request]
+	schedQ  *queue.Queue[schedEntry]
 	banks   []bank
 	// busFreeAt is the first cycle the shared data bus is free.
 	busFreeAt int64
@@ -90,7 +99,7 @@ func NewChannel(id int, cfg config.DRAMConfig, lineSize, partitions int, sink Re
 		cfg: cfg,
 		addrMap: NewHashedAddrMap(lineSize, partitions, cfg.RowBytes,
 			cfg.BanksPerChip, cfg.BankHash == "xor"),
-		schedQ:       queue.New[*mem.Request](fmt.Sprintf("dram%d.sched", id), cfg.SchedQueue),
+		schedQ:       queue.New[schedEntry](fmt.Sprintf("dram%d.sched", id), cfg.SchedQueue),
 		banks:        banks,
 		sink:         sink,
 		burst:        cfg.BurstCycles(lineSize),
@@ -109,7 +118,9 @@ func NewChannel(id int, cfg config.DRAMConfig, lineSize, partitions int, sink Re
 func (c *Channel) UsePool(p *mem.Pool) { c.pool = p }
 
 // Push enqueues a request into the scheduler queue; false means full.
-func (c *Channel) Push(req *mem.Request) bool { return c.schedQ.Push(req) }
+func (c *Channel) Push(req *mem.Request) bool {
+	return c.schedQ.Push(schedEntry{req: req, co: c.addrMap.Decode(req.LineAddr())})
+}
 
 // QueueFree returns free scheduler-queue slots.
 func (c *Channel) QueueFree() int { return c.schedQ.Free() }
@@ -140,6 +151,33 @@ func (c *Channel) Pending() int {
 // and the scheduler-queue occupancy sample.
 func (c *Channel) Quiescent() bool {
 	return c.schedQ.Empty() && c.inflight.Empty() && c.stuck == nil
+}
+
+// NextEvent returns the channel's next interesting DRAM cycle: the
+// first cycle at which a Tick could do anything beyond sampling the
+// (empty) scheduler queue. With requests queued or a stuck return the
+// channel needs every cycle (0). Otherwise the next event is the
+// earlier of the oldest in-flight access's completion (inflight is
+// completeAt-ordered) and the refresh timer, which marches on even
+// with no traffic. Ticks strictly before the returned cycle are
+// exactly SkipTicks ticks.
+func (c *Channel) NextEvent() int64 {
+	if !c.schedQ.Empty() || c.stuck != nil {
+		return 0
+	}
+	ev := c.nextRefresh
+	if fin, ok := c.inflight.Peek(); ok && fin.completeAt < ev {
+		ev = fin.completeAt
+	}
+	return ev
+}
+
+// SkipTicks batch-applies n event-free ticks: the exact stat deltas
+// of n Ticks strictly before NextEvent (one scheduler-queue occupancy
+// sample each, nothing else — refresh cannot fire and no completion
+// is due in the span).
+func (c *Channel) SkipTicks(n int64) {
+	c.schedQ.SampleN(n)
 }
 
 // Tick advances the channel by one DRAM cycle.
@@ -242,7 +280,7 @@ func (c *Channel) issue(cycle int64) {
 	case "frfcfs":
 		idx = c.pickFRFCFS(cycle)
 	case "fcfs":
-		if c.canIssue(c.schedQ.At(0), cycle) {
+		if c.canIssue(c.schedQ.At(0).co, cycle) {
 			idx = 0
 		}
 	default:
@@ -252,34 +290,37 @@ func (c *Channel) issue(cycle int64) {
 		c.stats.IssueStalls++
 		return
 	}
-	req := c.schedQ.Remove(idx)
-	c.start(req, cycle)
+	e := c.schedQ.Remove(idx)
+	c.start(e.req, e.co, cycle)
 }
 
 // pickFRFCFS scans the scheduler queue oldest-first, preferring row
 // hits; it falls back to the oldest issuable request.
 func (c *Channel) pickFRFCFS(cycle int64) int {
 	fallback := -1
-	for i := 0; i < c.schedQ.Len(); i++ {
-		req := c.schedQ.At(i)
-		if !c.canIssue(req, cycle) {
-			continue
+	a, b := c.schedQ.Segments()
+	base := 0
+	for _, seg := range [2][]schedEntry{a, b} {
+		for i := range seg {
+			co := seg[i].co
+			if !c.canIssue(co, cycle) {
+				continue
+			}
+			if c.banks[co.Bank].openRow == co.Row {
+				return base + i // oldest row hit
+			}
+			if fallback == -1 {
+				fallback = base + i
+			}
 		}
-		co := c.addrMap.Decode(req.LineAddr())
-		if c.banks[co.Bank].openRow == co.Row {
-			return i // oldest row hit
-		}
-		if fallback == -1 {
-			fallback = i
-		}
+		base += len(seg)
 	}
 	return fallback
 }
 
-// canIssue reports whether req's bank and the data bus allow starting
-// the access at cycle.
-func (c *Channel) canIssue(req *mem.Request, cycle int64) bool {
-	co := c.addrMap.Decode(req.LineAddr())
+// canIssue reports whether the access's bank and the data bus allow
+// starting it at cycle.
+func (c *Channel) canIssue(co Coord, cycle int64) bool {
 	b := &c.banks[co.Bank]
 	if b.readyAt > cycle {
 		return false
@@ -321,9 +362,9 @@ func (c *Channel) colLatency(b *bank, co Coord) int64 {
 	}
 }
 
-// start issues req, updating bank/bus state and the inflight list.
-func (c *Channel) start(req *mem.Request, cycle int64) {
-	co := c.addrMap.Decode(req.LineAddr())
+// start issues req (already decoded to co), updating bank/bus state
+// and the inflight list.
+func (c *Channel) start(req *mem.Request, co Coord, cycle int64) {
 	b := &c.banks[co.Bank]
 	t := c.cfg.Timing
 

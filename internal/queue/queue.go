@@ -94,6 +94,19 @@ func (q *Queue[T]) At(i int) T {
 	return q.buf[(q.head+i)%len(q.buf)]
 }
 
+// Segments returns the queued items oldest-first as at most two
+// contiguous views of the ring buffer (the second is non-nil only
+// when the ring wraps). Schedulers that scan every queued item each
+// cycle (FR-FCFS) iterate these directly instead of paying At's
+// index arithmetic per element. The views alias the queue's storage
+// and are invalidated by any mutation.
+func (q *Queue[T]) Segments() (a, b []T) {
+	if n := q.head + q.size; n <= len(q.buf) {
+		return q.buf[q.head:n], nil
+	}
+	return q.buf[q.head:], q.buf[:(q.head+q.size)%len(q.buf)]
+}
+
 // Remove deletes and returns the i-th oldest item, preserving the
 // order of the rest. It panics when i is out of range. FR-FCFS uses
 // this to issue row hits from the middle of the scheduler queue.

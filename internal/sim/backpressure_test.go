@@ -32,8 +32,8 @@ func parseBursty(t *testing.T) workload.Spec {
 	return s
 }
 
-// TestIdleFastForwardResultsIdentical: fixed-latency mode with the
-// whole-GPU idle-span fast-forward on vs off must produce exactly the
+// TestIdleFastForwardResultsIdentical: fixed-latency mode under the
+// event engine vs the per-cycle reference must produce exactly the
 // same Results — cycle counts, stall attribution, occupancy samples
 // and all. SkipIdle batch-charges skipped spans; if it ever diverged
 // from stepping the cycles one by one (e.g. dropping queue samples
@@ -56,7 +56,9 @@ func TestIdleFastForwardResultsIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			g.SetIdleFastForward(fastForward)
+			if !fastForward {
+				g.SetEngine(EngineCycle)
+			}
 			g.Run(2000)
 			g.ResetStats()
 			g.Run(5000)

@@ -6,24 +6,40 @@
 //
 // # Hot-path invariants
 //
-// The per-cycle loop is engineered to allocate nothing in steady
-// state and to skip quiescent components:
+// The engine allocates nothing in steady state and never spends time
+// on provably frozen components:
 //
 //   - All mem.Request and mem.Packet values are drawn from one
 //     per-GPU free-list pool (mem.Pool) and recycled at their
 //     retirement points; see the pool's ownership protocol.
-//   - Each component exposes a quiescence fast path: an SM with no
-//     in-flight work and no issuable warp freezes until a response
-//     arrives (core.SM.Quiescent), a partition or DRAM channel with
-//     empty queues and pipes reduces its tick to occupancy samples,
-//     and a crossbar with no buffered or in-transfer packets skips
-//     arbitration.
-//   - Skipped cycles account the exact statistics a full tick would
-//     have produced (cycle counters, stall counters, zero-occupancy
-//     queue samples, stall attribution), so reports are byte-identical
-//     with and without skipping. In fixed-latency mode, when every SM
-//     is quiescent the GPU fast-forwards whole spans of cycles to the
-//     next scheduled response delivery in O(1) (Run).
+//   - Run's default engine (EngineEvent) is a next-event scheduler.
+//     Each component reports its next interesting cycle — the first
+//     cycle of its own clock domain at which a Tick could do anything
+//     beyond sampling its (empty) queues. Concretely: an SM reports
+//     math.MaxInt64 while idle (only a response delivery wakes it)
+//     and the oldest in-flight L1 hit's completion while hit-waiting
+//     (core.SM.SleepUntil); a DRAM channel with an empty scheduler
+//     queue reports the earlier of its oldest in-flight access's
+//     completion and its refresh timer (dram.Channel.NextEvent); an
+//     L2 partition with empty queues reports its earliest hit/fill
+//     pipeline completion (l2.Partition.NextEvent); a crossbar
+//     reports math.MaxInt64 once empty (icnt.Crossbar.NextEvent); the
+//     Fig. 1 fixed-latency backend reports the earliest scheduled
+//     delivery from a hierarchical timing wheel (sched.Wheel). While
+//     any queue holds work the component reports 0 — "tick me every
+//     cycle" — because queue interactions are not frozen. When every
+//     SM is asleep, Run converts each domain's next event into a
+//     core-cycle bound with exact rational clock arithmetic
+//     (sched.Domain.StepsUntil) and jumps to the minimum (idleSpan).
+//   - A skipped span accounts the exact statistics stepping it would
+//     have produced: core.SM.SkipIdle batch-charges cycle counts,
+//     no-warp stalls, stall attribution and empty-queue samples;
+//     each downstream component's SkipTicks batch-samples its queues,
+//     with per-domain tick counts from the same phase accumulators
+//     the per-cycle loop uses. Reports are therefore byte-identical
+//     under EngineEvent and EngineCycle — the per-cycle reference
+//     loop, kept compiled and tested as the oracle (SetEngine); the
+//     equivalence property tests and the golden files pin this.
 //
 // Determinism is unaffected: a GPU instance owns all of its state, so
 // reports are bit-identical at any experiment-engine parallelism, and
@@ -76,6 +92,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -84,9 +101,49 @@ import (
 	"repro/internal/l2"
 	"repro/internal/mem"
 	"repro/internal/queue"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
+
+// Engine selects how GPU.Run advances the system through time.
+type Engine int
+
+const (
+	// EngineEvent (the default) is the next-event scheduler: Run
+	// batch-skips spans in which every component is provably frozen,
+	// jumping straight to the minimum next interesting cycle across
+	// SMs, crossbars, L2 partitions, DRAM channels and (in Fig. 1
+	// mode) the fixed-latency delivery wheel, charging the skipped
+	// cycles through the exact batch statistics paths.
+	EngineEvent Engine = iota
+	// EngineCycle is the per-cycle reference loop: every component
+	// ticks on every cycle of its clock domain. It is kept compiled
+	// and tested as the oracle the event engine is checked against —
+	// Results, stall breakdowns and golden reports must be
+	// byte-identical under either engine — and as a debugging escape
+	// hatch (gpusim -engine=cycle).
+	EngineCycle
+)
+
+// String returns the -engine flag spelling of e.
+func (e Engine) String() string {
+	if e == EngineCycle {
+		return "cycle"
+	}
+	return "event"
+}
+
+// ParseEngine parses the -engine flag spellings "event" and "cycle".
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "event":
+		return EngineEvent, nil
+	case "cycle":
+		return EngineCycle, nil
+	}
+	return 0, fmt.Errorf("sim: unknown engine %q (want \"event\" or \"cycle\")", s)
+}
 
 // GPU is one simulated system instance.
 type GPU struct {
@@ -103,11 +160,10 @@ type GPU struct {
 	nextID  uint64
 
 	coreCycle int64
-	icntCycle int64
-	l2Cycle   int64
-	dramCycle int64
-	// Clock-domain phase accumulators (units of MHz·cycles).
-	icntAcc, l2Acc, dramAcc int
+	// Derived clock domains, advanced in exact rational proportion to
+	// the core clock (sched.Domain reproduces the historical per-cycle
+	// phase-accumulator loop for any step batching).
+	icntDom, l2Dom, dramDom sched.Domain
 
 	// stallCause memoizes the hierarchical memory-stall refinement for
 	// the core cycle stallCauseAt: the deepest level whose input queue
@@ -117,11 +173,9 @@ type GPU struct {
 	stallCause   stats.StallCause
 	stallCauseAt int64
 
-	// noFastForward disables the whole-GPU idle-span fast-forward in
-	// Run (SetIdleFastForward), forcing every cycle to step. Statistics
-	// must not change either way — the regression tests flip this to
-	// prove skipped spans account exactly what stepped cycles would.
-	noFastForward bool
+	// engine selects Run's time-advancement strategy; statistics must
+	// not change either way (SetEngine).
+	engine Engine
 }
 
 // New builds a GPU running wl under cfg. The config is validated and
@@ -140,6 +194,9 @@ func New(cfg config.Config, wl workload.Workload) (*GPU, error) {
 		addrMap: dram.NewAddrMap(cfg.L2.LineSize, cfg.L2.Partitions,
 			cfg.DRAM.RowBytes, cfg.DRAM.BanksPerChip),
 		stallCauseAt: -1,
+		icntDom:      sched.NewDomain(cfg.Clock.IcntMHz, cfg.Clock.CoreMHz),
+		l2Dom:        sched.NewDomain(cfg.Clock.L2MHz, cfg.Clock.CoreMHz),
+		dramDom:      sched.NewDomain(cfg.Clock.DRAMMHz, cfg.Clock.CoreMHz),
 	}
 
 	if cfg.FixedLatency.Enabled {
@@ -262,6 +319,16 @@ type fixedBackend struct {
 	pending []queue.Ring[*mem.Packet]
 	// inflight counts undelivered responses across all FIFOs.
 	inflight int
+	// wheel holds exactly one "attention due" hint per non-empty FIFO
+	// — at the head packet's ReadyAt, or at the next cycle after a
+	// refused delivery — so tick visits only SMs with due heads
+	// instead of scanning every FIFO every cycle. The invariant:
+	// SendMiss arms a hint when it makes a FIFO non-empty; tick
+	// consumes the popped hint and re-arms before every break that
+	// leaves the FIFO non-empty. Wheel occupancy is therefore bounded
+	// by the SM count, keeping the steady state allocation-free.
+	wheel  sched.Wheel
+	dueBuf []int32 // PopDue scratch
 }
 
 // MemStallCause implements core.Backend: the fixed-latency responder
@@ -278,6 +345,8 @@ func (b *fixedBackend) SendMiss(req *mem.Request) bool {
 	}
 	if b.pending == nil {
 		b.pending = make([]queue.Ring[*mem.Packet], len(b.gpu.sms))
+		// One hint per SM bounds same-cycle wheel occupancy.
+		b.wheel.Preallocate(len(b.gpu.sms))
 	}
 	pkt := b.gpu.pool.GetPacket()
 	*pkt = mem.Packet{
@@ -285,25 +354,37 @@ func (b *fixedBackend) SendMiss(req *mem.Request) bool {
 		SizeBytes: mem.ResponsePacketBytes(req),
 		ReadyAt:   b.gpu.coreCycle + b.latency,
 	}
-	b.pending[req.CoreID].Push(pkt)
+	q := &b.pending[req.CoreID]
+	if q.Empty() {
+		b.wheel.Schedule(pkt.ReadyAt, int32(req.CoreID))
+	}
+	q.Push(pkt)
 	b.inflight++
 	return true
 }
 
 // tick delivers every due response (unlimited bandwidth); a full SM
-// response queue retries next cycle.
+// response queue retries next cycle. Only SMs with a due hint are
+// visited; delivery order within an SM is FIFO, and order across SMs
+// is irrelevant (disjoint response queues).
 func (b *fixedBackend) tick(cycle int64) {
-	if b.inflight == 0 {
-		return
-	}
-	for smID := range b.pending {
+	// Called unconditionally (even with nothing scheduled): PopDue on
+	// an empty wheel just advances its base, which keeps subsequent
+	// Schedules in the fine-grained level-0 range.
+	b.dueBuf = b.wheel.PopDue(cycle, b.dueBuf[:0])
+	for _, smID := range b.dueBuf {
 		q := &b.pending[smID]
 		for {
 			pkt, ok := q.Peek()
-			if !ok || pkt.ReadyAt > cycle {
+			if !ok {
+				break
+			}
+			if pkt.ReadyAt > cycle {
+				b.wheel.Schedule(pkt.ReadyAt, smID) // re-arm for the next head
 				break
 			}
 			if !b.gpu.sms[smID].DeliverResponse(pkt) {
+				b.wheel.Schedule(cycle+1, smID) // retry next cycle
 				break
 			}
 			q.Pop()
@@ -312,21 +393,11 @@ func (b *fixedBackend) tick(cycle int64) {
 	}
 }
 
-// nextReady returns the earliest scheduled delivery cycle across all
-// pending FIFOs, or ok=false when nothing is in flight. Each FIFO is
-// sorted by ReadyAt (constant latency), so only heads are inspected.
+// nextReady returns the earliest cycle at which tick could deliver
+// (or retry) anything, or ok=false when nothing is scheduled. O(1):
+// the wheel caches its minimum.
 func (b *fixedBackend) nextReady() (int64, bool) {
-	if b.inflight == 0 {
-		return 0, false
-	}
-	var min int64
-	found := false
-	for i := range b.pending {
-		if pkt, ok := b.pending[i].Peek(); ok && (!found || pkt.ReadyAt < min) {
-			min, found = pkt.ReadyAt, true
-		}
-	}
-	return min, found
+	return b.wheel.Earliest()
 }
 
 // Step advances the system by one core clock cycle, ticking the other
@@ -334,24 +405,26 @@ func (b *fixedBackend) nextReady() (int64, bool) {
 // 700 MHz). Downstream domains tick first so back pressure resolves
 // before new work enters.
 func (g *GPU) Step() {
-	c := g.cfg.Clock
 	if g.fixed == nil {
-		for g.dramAcc += c.DRAMMHz; g.dramAcc >= c.CoreMHz; g.dramAcc -= c.CoreMHz {
+		c := g.dramDom.Cycle()
+		for n := g.dramDom.Advance(1); n > 0; n-- {
 			for _, p := range g.parts {
-				p.Channel().Tick(g.dramCycle)
+				p.Channel().Tick(c)
 			}
-			g.dramCycle++
+			c++
 		}
-		for g.l2Acc += c.L2MHz; g.l2Acc >= c.CoreMHz; g.l2Acc -= c.CoreMHz {
+		c = g.l2Dom.Cycle()
+		for n := g.l2Dom.Advance(1); n > 0; n-- {
 			for _, p := range g.parts {
-				p.Tick(g.l2Cycle)
+				p.Tick(c)
 			}
-			g.l2Cycle++
+			c++
 		}
-		for g.icntAcc += c.IcntMHz; g.icntAcc >= c.CoreMHz; g.icntAcc -= c.CoreMHz {
-			g.respX.Tick(g.icntCycle)
-			g.reqX.Tick(g.icntCycle)
-			g.icntCycle++
+		c = g.icntDom.Cycle()
+		for n := g.icntDom.Advance(1); n > 0; n-- {
+			g.respX.Tick(c)
+			g.reqX.Tick(c)
+			c++
 		}
 	} else {
 		g.fixed.tick(g.coreCycle)
@@ -362,51 +435,126 @@ func (g *GPU) Step() {
 	g.coreCycle++
 }
 
-// Run advances the system by n core cycles. In fixed-latency mode it
-// fast-forwards spans where every SM is quiescent: nothing can happen
-// before the earliest scheduled response delivery, so the skipped
-// cycles are accounted in O(1) per SM (core.SM.SkipIdle) with stats
-// identical to stepping through them.
+// Run advances the system by n core cycles. Under EngineEvent it
+// batch-skips every span in which the whole system is provably frozen
+// (idleSpan), charging skipped cycles through the exact batch
+// statistics paths (skipSpan); under EngineCycle it steps each cycle.
+// The engines are statistically indistinguishable by construction —
+// only wall-clock time differs.
 func (g *GPU) Run(n int64) {
 	end := g.coreCycle + n
+	if g.engine == EngineCycle {
+		for g.coreCycle < end {
+			g.Step()
+		}
+		return
+	}
 	for g.coreCycle < end {
-		if g.fixed != nil && !g.noFastForward && g.allSMsQuiescent() {
-			skipTo := end
-			if next, ok := g.fixed.nextReady(); ok && next < skipTo {
-				// Deliveries happen in the Step at cycle `next`;
-				// cycles up to it are pure idle ticks.
-				skipTo = next
-			}
-			if skip := skipTo - g.coreCycle; skip > 0 {
-				for _, sm := range g.sms {
-					sm.SkipIdle(skip)
-				}
-				g.coreCycle += skip
-				continue
-			}
+		if k := g.idleSpan(end); k > 0 {
+			g.skipSpan(k)
+		} else {
+			g.Step()
 		}
-		g.Step()
 	}
 }
 
-// allSMsQuiescent reports whether every SM is in the frozen idle
-// state (no in-flight work, no issuable warp).
-func (g *GPU) allSMsQuiescent() bool {
+// idleSpan returns how many core cycles, starting at the current one,
+// the whole system is provably frozen for: every SM asleep (idle or
+// hit-waiting) and no downstream component's next interesting cycle
+// inside the span. The result is capped so the span ends at end; zero
+// means the next cycle must be stepped. During such a span no
+// component's observable state changes except via the batch paths —
+// in particular no response can be delivered (delivery requires a
+// busy crossbar, a due L2/DRAM completion or a due fixed-latency
+// delivery, all of which bound the span) — so queue fullness, and
+// with it the memory-stall refinement, is constant across it.
+func (g *GPU) idleSpan(end int64) int64 {
+	wake := end
 	for _, sm := range g.sms {
-		if !sm.Quiescent() {
-			return false
+		su := sm.SleepUntil()
+		if su <= g.coreCycle {
+			return 0 // active SM: step
+		}
+		if su < wake {
+			wake = su
 		}
 	}
-	return true
+	if g.fixed != nil {
+		if next, ok := g.fixed.nextReady(); ok {
+			if next <= g.coreCycle {
+				return 0
+			}
+			if next < wake {
+				wake = next
+			}
+		}
+	} else {
+		ev := int64(math.MaxInt64)
+		for _, p := range g.parts {
+			if e := p.Channel().NextEvent(); e < ev {
+				ev = e
+			}
+		}
+		if w := g.coreCycle + g.dramDom.StepsUntil(ev); w < wake {
+			wake = w
+		}
+		ev = math.MaxInt64
+		for _, p := range g.parts {
+			if e := p.NextEvent(); e < ev {
+				ev = e
+			}
+		}
+		if w := g.coreCycle + g.l2Dom.StepsUntil(ev); w < wake {
+			wake = w
+		}
+		ev = g.respX.NextEvent()
+		if e := g.reqX.NextEvent(); e < ev {
+			ev = e
+		}
+		if w := g.coreCycle + g.icntDom.StepsUntil(ev); w < wake {
+			wake = w
+		}
+	}
+	return wake - g.coreCycle
 }
 
-// SetIdleFastForward enables or disables the fixed-latency idle-span
-// fast-forward (enabled by default). Disabling it forces Run to step
-// through quiescent spans cycle by cycle; every statistic — cycle
-// counts, stall attribution, queue-occupancy samples and the
-// back-pressure denominators they feed — must be identical either
-// way, which the regression tests assert by flipping this switch.
-func (g *GPU) SetIdleFastForward(on bool) { g.noFastForward = !on }
+// skipSpan advances the system k core cycles in one batch. Every SM
+// charges the span through SkipIdle (the memory-stall refinement is
+// memoized once — queue fullness is frozen, so it equals what each
+// stepped cycle would have computed); each derived domain advances
+// its phase accumulator exactly as k per-cycle steps would and
+// batch-samples its components' queues for the ticks that elapse.
+func (g *GPU) skipSpan(k int64) {
+	for _, sm := range g.sms {
+		sm.SkipIdle(k)
+	}
+	if g.fixed == nil {
+		if n := g.dramDom.Advance(k); n > 0 {
+			for _, p := range g.parts {
+				p.Channel().SkipTicks(n)
+			}
+		}
+		if n := g.l2Dom.Advance(k); n > 0 {
+			for _, p := range g.parts {
+				p.SkipTicks(n)
+			}
+		}
+		if n := g.icntDom.Advance(k); n > 0 {
+			g.respX.SkipTicks(n)
+			g.reqX.SkipTicks(n)
+		}
+	}
+	g.coreCycle += k
+}
+
+// SetEngine selects Run's engine (EngineEvent by default). The choice
+// is observably irrelevant — Results, stall breakdowns,
+// queue-occupancy samples and the back-pressure denominators they
+// feed are byte-identical under either engine, an equivalence the
+// property tests assert over every built-in workload, scenario and
+// fuzzed spec — so EngineCycle exists purely as the slow, obviously
+// correct reference.
+func (g *GPU) SetEngine(e Engine) { g.engine = e }
 
 // Cycle returns the current core cycle.
 func (g *GPU) Cycle() int64 { return g.coreCycle }

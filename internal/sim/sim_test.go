@@ -165,11 +165,11 @@ func TestClockDomainsTickProportionally(t *testing.T) {
 	// DRAM at 924 MHz vs core 700 MHz → 1.32 DRAM cycles per core
 	// cycle.
 	want := int64(7000) * int64(cfg.Clock.DRAMMHz) / int64(cfg.Clock.CoreMHz)
-	if diff := g.dramCycle - want; diff < -2 || diff > 2 {
-		t.Fatalf("dram cycles = %d, want ≈%d", g.dramCycle, want)
+	if diff := g.dramDom.Cycle() - want; diff < -2 || diff > 2 {
+		t.Fatalf("dram cycles = %d, want ≈%d", g.dramDom.Cycle(), want)
 	}
-	if g.l2Cycle != 7000 || g.icntCycle != 7000 {
-		t.Fatalf("same-frequency domains out of step: l2=%d icnt=%d", g.l2Cycle, g.icntCycle)
+	if g.l2Dom.Cycle() != 7000 || g.icntDom.Cycle() != 7000 {
+		t.Fatalf("same-frequency domains out of step: l2=%d icnt=%d", g.l2Dom.Cycle(), g.icntDom.Cycle())
 	}
 }
 

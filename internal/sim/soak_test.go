@@ -30,12 +30,21 @@ type finiteStream struct {
 	left  int
 }
 
-func (s *finiteStream) Next() core.Instr {
+func (s *finiteStream) NextInto(in *core.Instr) {
 	if s.left <= 0 {
-		return core.Instr{Kind: core.ALU}
+		*in = core.Instr{Kind: core.ALU}
+		return
 	}
-	s.left--
-	return s.inner.Next()
+	s.inner.NextInto(in)
+	k := in.Run
+	if k < 1 {
+		k = 1
+	}
+	if k > s.left {
+		in.Run = s.left // clamp a batched run to the budget
+		k = s.left
+	}
+	s.left -= k
 }
 
 // soakScale reads the SOAK_SCALE env knob (default 1): the nightly

@@ -61,9 +61,20 @@ func Record(wl workload.Workload, sms int, n int, seed uint64, lineSize uint64, 
 				return fmt.Errorf("trace: %w", err)
 			}
 			s := wl.Stream(sm, warp, seed, lineSize)
-			for i := 0; i < n; i++ {
-				if err := writeInstr(bw, s.Next(), lineSize); err != nil {
-					return err
+			for i := 0; i < n; {
+				in := core.NextOf(s)
+				// A batched compute run stands for Run identical
+				// instructions; record each on its own line so the
+				// trace format stays one-instruction-per-line.
+				k := in.Run
+				if k < 1 {
+					k = 1
+				}
+				for ; k > 0 && i < n; k-- {
+					if err := writeInstr(bw, in, lineSize); err != nil {
+						return err
+					}
+					i++
 				}
 			}
 		}
@@ -80,9 +91,9 @@ func writeInstr(w io.Writer, in core.Instr, lineSize uint64) error {
 	case in.Kind != core.Mem:
 		_, err = fmt.Fprintln(w, "A")
 	case in.Store:
-		_, err = fmt.Fprintf(w, "S%s\n", hexLines(in.Lanes, lineSize))
+		_, err = fmt.Fprintf(w, "S%s\n", hexLines(in, lineSize))
 	default:
-		_, err = fmt.Fprintf(w, "L %d%s\n", in.DepDist, hexLines(in.Lanes, lineSize))
+		_, err = fmt.Fprintf(w, "L %d%s\n", in.DepDist, hexLines(in, lineSize))
 	}
 	if err != nil {
 		return fmt.Errorf("trace: %w", err)
@@ -90,9 +101,18 @@ func writeInstr(w io.Writer, in core.Instr, lineSize uint64) error {
 	return nil
 }
 
-func hexLines(lanes []uint64, lineSize uint64) string {
+// hexLines renders the instruction's coalesced line addresses: a
+// stream that emits pre-coalesced Instr.Lines defines them directly
+// (the workload generators), otherwise the lane view reduces exactly
+// as the SM's coalescer would. Recorded bytes are identical either
+// way, which the record→parse→replay round-trip tests pin.
+func hexLines(in core.Instr, lineSize uint64) string {
 	var b strings.Builder
-	for _, l := range core.Coalesce(lanes, lineSize) {
+	lines := in.Lines
+	if lines == nil {
+		lines = core.Coalesce(in.Lanes, lineSize)
+	}
+	for _, l := range lines {
 		fmt.Fprintf(&b, " %x", l)
 	}
 	return b.String()
@@ -333,12 +353,14 @@ type replay struct {
 	pos    int
 }
 
-// Next implements core.InstrStream.
-func (r *replay) Next() core.Instr {
+// NextInto implements core.InstrStream.
+func (r *replay) NextInto(in *core.Instr) {
 	if r.pos < len(r.instrs) {
-		in := r.instrs[r.pos]
+		*in = r.instrs[r.pos]
 		r.pos++
-		return in
+		return
 	}
-	return core.Instr{Kind: core.ALU}
+	// Full overwrite (not just Kind): recorded traces are compared
+	// instruction-for-instruction in tests.
+	*in = core.Instr{Kind: core.ALU}
 }

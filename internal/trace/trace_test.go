@@ -18,12 +18,45 @@ func sampleSpec() workload.Spec {
 	}
 }
 
+// unbatch expands batched compute runs (Instr.Run > 1) back into one
+// Instr per instruction, so streams with different batching compare
+// instruction-for-instruction.
+type unbatch struct {
+	s    core.InstrStream
+	left int
+}
+
+func (u *unbatch) NextInto(in *core.Instr) {
+	if u.left > 0 {
+		u.left--
+		*in = core.Instr{Kind: core.ALU}
+		return
+	}
+	u.s.NextInto(in)
+	if r := in.Run; r > 1 {
+		u.left = r - 1
+		in.Run = 1
+	}
+}
+
+// coalescedOf returns an instruction's line transactions: the
+// pre-coalesced Lines when the stream provides them (generator
+// streams), otherwise the lane view reduced exactly as the SM would
+// (replay streams carry recorded line addresses in Lanes).
+func coalescedOf(in core.Instr) []uint64 {
+	if in.Lines != nil {
+		return in.Lines
+	}
+	return core.Coalesce(in.Lanes, 128)
+}
+
 // assertStreamsEqual compares a fresh generator stream against a
 // replay stream instruction-for-instruction at line granularity.
 func assertStreamsEqual(t *testing.T, label string, fresh, rep core.InstrStream, n int) {
 	t.Helper()
+	fresh, rep = &unbatch{s: fresh}, &unbatch{s: rep}
 	for i := 0; i < n; i++ {
-		want, got := fresh.Next(), rep.Next()
+		want, got := core.NextOf(fresh), core.NextOf(rep)
 		if want.Kind != got.Kind || want.Store != got.Store {
 			t.Fatalf("%s: instr %d: kind/store mismatch", label, i)
 		}
@@ -33,8 +66,8 @@ func assertStreamsEqual(t *testing.T, label string, fresh, rep core.InstrStream,
 		if want.DepDist != got.DepDist && !want.Store {
 			t.Fatalf("%s: instr %d: dep %d vs %d", label, i, want.DepDist, got.DepDist)
 		}
-		wl := core.Coalesce(want.Lanes, 128)
-		gl := core.Coalesce(got.Lanes, 128)
+		wl := coalescedOf(want)
+		gl := coalescedOf(got)
 		if len(wl) != len(gl) {
 			t.Fatalf("%s: instr %d: %d vs %d lines", label, i, len(wl), len(gl))
 		}
@@ -113,9 +146,9 @@ func TestReplayPadsWithALU(t *testing.T) {
 	}
 	s := tr.Stream(0, 0, 0, 0)
 	for i := 0; i < 5; i++ {
-		s.Next()
+		core.NextOf(s)
 	}
-	if in := s.Next(); in.Kind != core.ALU {
+	if in := core.NextOf(s); in.Kind != core.ALU {
 		t.Fatalf("exhausted trace should pad with ALU, got %v", in.Kind)
 	}
 }
@@ -130,7 +163,7 @@ func TestReplayUnknownSMFallsBack(t *testing.T) {
 	if s == nil {
 		t.Fatalf("no stream for unrecorded SM")
 	}
-	s.Next()
+	core.NextOf(s)
 }
 
 func TestParseErrors(t *testing.T) {
@@ -161,7 +194,7 @@ func TestParseAcceptsBlankLines(t *testing.T) {
 	s := tr.Stream(0, 0, 0, 0)
 	kinds := []core.InstrKind{core.ALU, core.Mem, core.Mem}
 	for i, want := range kinds {
-		if got := s.Next(); got.Kind != want {
+		if got := core.NextOf(s); got.Kind != want {
 			t.Fatalf("instr %d: kind %v want %v", i, got.Kind, want)
 		}
 	}

@@ -3,6 +3,8 @@ package workload
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 const goodSpecJSON = `{
@@ -46,7 +48,7 @@ func TestParseSpecGood(t *testing.T) {
 		t.Fatalf("phase 2 wrong: %+v", s.Phases[1])
 	}
 	// The parsed spec must actually stream.
-	if in := s.Stream(0, 0, 1, 128).Next(); in.Kind > 1 {
+	if in := core.NextOf(s.Stream(0, 0, 1, 128)); in.Kind > 1 {
 		t.Fatalf("bad first instruction: %+v", in)
 	}
 }

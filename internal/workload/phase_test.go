@@ -31,7 +31,7 @@ func phasedSpec() Spec {
 func memCount(s core.InstrStream, n int) int {
 	mem := 0
 	for i := 0; i < n; i++ {
-		if s.Next().Kind == core.Mem {
+		if core.NextOf(s).Kind == core.Mem {
 			mem++
 		}
 	}
@@ -64,12 +64,12 @@ func TestPhaseRegionsArePlacedApart(t *testing.T) {
 	// no HitFrac, so every mem access is pattern traffic).
 	phaseLines := [2]map[uint64]bool{{}, {}}
 	for i := 0; i < 400; i++ {
-		in := s.Next()
+		in := core.NextOf(s)
 		if in.Kind != core.Mem {
 			continue
 		}
 		phase := (i / 100) % 2
-		for _, l := range core.Coalesce(in.Lanes, 128) {
+		for _, l := range in.Lines {
 			phaseLines[phase][l] = true
 		}
 	}
@@ -89,12 +89,12 @@ func TestPhaseSharedRegionOverlaps(t *testing.T) {
 	s := spec.Stream(0, 0, 1, 128)
 	seen := [2]map[uint64]bool{{}, {}}
 	for i := 0; i < 4000; i++ {
-		in := s.Next()
+		in := core.NextOf(s)
 		if in.Kind != core.Mem {
 			continue
 		}
 		phase := (i / 100) % 2
-		for _, l := range core.Coalesce(in.Lanes, 128) {
+		for _, l := range in.Lines {
 			seen[phase][l] = true
 		}
 	}
@@ -116,7 +116,7 @@ func TestPhaseDepDistInheritance(t *testing.T) {
 	spec.Phases[1].DepDist = 7 // override
 	s := spec.Stream(0, 0, 1, 128)
 	for i := 0; i < 200; i++ {
-		in := s.Next()
+		in := core.NextOf(s)
 		if in.Kind != core.Mem {
 			continue
 		}
@@ -140,8 +140,8 @@ func TestHotsetSkewsOntoHotRegion(t *testing.T) {
 	hotLimit := base + 64*128 // leading 1/64 of 4096 lines
 	hot, total := 0, 0
 	for i := 0; i < 5000; i++ {
-		in := s.Next()
-		for _, l := range core.Coalesce(in.Lanes, 128) {
+		in := core.NextOf(s)
+		for _, l := range in.Lines {
 			if l >= base+4096*128 {
 				t.Fatalf("hotset escaped working set: %#x", l)
 			}
@@ -168,8 +168,8 @@ func TestTransposeScattersWarpAccesses(t *testing.T) {
 	}
 	s := spec.Stream(0, 0, 1, 128)
 	for i := 0; i < 500; i++ {
-		in := s.Next()
-		lines := core.Coalesce(in.Lanes, 128)
+		in := core.NextOf(s)
+		lines := in.Lines
 		if len(lines) != 8 {
 			t.Fatalf("access %d: %d distinct lines, want 8 (fully uncoalesced)", i, len(lines))
 		}
@@ -289,7 +289,9 @@ func TestPhaseValidation(t *testing.T) {
 }
 
 // streamHash fingerprints the first n instructions of a stream:
-// kind, store flag, dep distance and coalesced line addresses.
+// kind, store flag, dep distance and coalesced line addresses. A
+// batched compute Instr (Run > 1) is hashed once per instruction it
+// stands for, so the pinned hashes are invariant to batching.
 func streamHash(t *testing.T, name string, sm, warp int, n int) uint64 {
 	t.Helper()
 	wl, err := ByName(name)
@@ -300,7 +302,16 @@ func streamHash(t *testing.T, name string, sm, warp int, n int) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	for i := 0; i < n; i++ {
-		in := s.Next()
+		in := core.NextOf(s)
+		for r := in.Run; r > 1 && i < n-1; r-- {
+			// One ALU record per batched instruction (an ALU Instr
+			// contributes kind+store+dep, all zero but the kind).
+			buf[0], buf[1] = byte(core.ALU), 0
+			h.Write(buf[:2])
+			binary.LittleEndian.PutUint64(buf[:], 0)
+			h.Write(buf[:])
+			i++
+		}
 		buf[0] = byte(in.Kind)
 		if in.Store {
 			buf[1] = 1
@@ -310,7 +321,15 @@ func streamHash(t *testing.T, name string, sm, warp int, n int) uint64 {
 		h.Write(buf[:2])
 		binary.LittleEndian.PutUint64(buf[:], uint64(in.DepDist))
 		h.Write(buf[:])
-		for _, l := range core.Coalesce(in.Lanes, 128) {
+		// Generated streams emit pre-coalesced Lines; hashing them
+		// against the pinned values (computed when streams emitted
+		// 32-lane views that were coalesced here) proves the Lines
+		// list is byte-for-byte the reduction the lanes produced.
+		lines := in.Lines
+		if lines == nil {
+			lines = core.Coalesce(in.Lanes, 128)
+		}
+		for _, l := range lines {
 			binary.LittleEndian.PutUint64(buf[:], l)
 			h.Write(buf[:])
 		}

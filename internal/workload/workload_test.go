@@ -46,13 +46,13 @@ func TestStreamsAreDeterministic(t *testing.T) {
 		a := wl.Stream(3, 5, 42, 128)
 		b := wl.Stream(3, 5, 42, 128)
 		for i := 0; i < 500; i++ {
-			x, y := a.Next(), b.Next()
-			if x.Kind != y.Kind || x.Store != y.Store || len(x.Lanes) != len(y.Lanes) {
+			x, y := core.NextOf(a), core.NextOf(b)
+			if x.Kind != y.Kind || x.Store != y.Store || len(x.Lines) != len(y.Lines) {
 				t.Fatalf("%s: streams diverge at instr %d", name, i)
 			}
-			for l := range x.Lanes {
-				if x.Lanes[l] != y.Lanes[l] {
-					t.Fatalf("%s: lane addresses diverge at instr %d", name, i)
+			for l := range x.Lines {
+				if x.Lines[l] != y.Lines[l] {
+					t.Fatalf("%s: line addresses diverge at instr %d", name, i)
 				}
 			}
 		}
@@ -65,13 +65,13 @@ func TestStreamsDifferAcrossWarps(t *testing.T) {
 	b := wl.Stream(0, 1, 1, 128)
 	same := true
 	for i := 0; i < 200 && same; i++ {
-		x, y := a.Next(), b.Next()
-		if x.Kind != y.Kind || len(x.Lanes) != len(y.Lanes) {
+		x, y := core.NextOf(a), core.NextOf(b)
+		if x.Kind != y.Kind || len(x.Lines) != len(y.Lines) {
 			same = false
 			break
 		}
-		for l := range x.Lanes {
-			if x.Lanes[l] != y.Lanes[l] {
+		for l := range x.Lines {
+			if x.Lines[l] != y.Lines[l] {
 				same = false
 				break
 			}
@@ -83,10 +83,16 @@ func TestStreamsDifferAcrossWarps(t *testing.T) {
 }
 
 // instrMix runs n instructions and returns (mem, store, distinct lines).
+// A batched compute Instr (Run > 1) counts as Run instructions.
 func instrMix(s core.InstrStream, n int, lineSize uint64) (memN, storeN int, lines map[uint64]bool) {
 	lines = map[uint64]bool{}
-	for i := 0; i < n; i++ {
-		in := s.Next()
+	for i := 0; i < n; {
+		in := core.NextOf(s)
+		if r := in.Run; r > 1 {
+			i += r
+		} else {
+			i++
+		}
 		if in.Kind != core.Mem {
 			continue
 		}
@@ -94,7 +100,7 @@ func instrMix(s core.InstrStream, n int, lineSize uint64) (memN, storeN int, lin
 		if in.Store {
 			storeN++
 		}
-		for _, l := range core.Coalesce(in.Lanes, lineSize) {
+		for _, l := range in.Lines {
 			lines[l] = true
 		}
 	}
@@ -205,16 +211,37 @@ func TestSpecValidation(t *testing.T) {
 }
 
 func TestLanesStayWithinLines(t *testing.T) {
+	var lanes []uint64
 	for _, name := range Names() {
 		wl, _ := ByName(name)
 		s := wl.Stream(1, 2, 7, 128)
-		for i := 0; i < 2000; i++ {
-			in := s.Next()
+		for i := 0; i < 2000; {
+			in := core.NextOf(s)
+			if r := in.Run; r > 1 {
+				i += r
+			} else {
+				i++
+			}
 			if in.Kind != core.Mem {
 				continue
 			}
-			if len(in.Lanes) != 32 {
-				t.Fatalf("%s: %d lanes, want 32", name, len(in.Lanes))
+			// Generated streams emit the coalesced line list; the
+			// 32-lane view it stands for must expand to addresses
+			// inside those lines and reduce back to exactly the list.
+			lanes = ExpandLanes(lanes, in.Lines, 32, 128)
+			if len(lanes) != 32 {
+				t.Fatalf("%s: %d lanes, want 32", name, len(lanes))
+			}
+			back := core.Coalesce(lanes, 128)
+			if len(back) != len(in.Lines) {
+				t.Fatalf("%s: %d lanes coalesce to %d lines, stream claims %d",
+					name, len(lanes), len(back), len(in.Lines))
+			}
+			for j := range back {
+				if back[j] != in.Lines[j] {
+					t.Fatalf("%s: coalesced line %d is %#x, stream claims %#x",
+						name, j, back[j], in.Lines[j])
+				}
 			}
 		}
 	}
@@ -229,13 +256,18 @@ func TestHitFracProducesReuse(t *testing.T) {
 	s := spec.Stream(0, 0, 1, 128)
 	counts := map[uint64]int{}
 	memN := 0
-	for i := 0; i < 4000; i++ {
-		in := s.Next()
+	for i := 0; i < 4000; {
+		in := core.NextOf(s)
+		if r := in.Run; r > 1 {
+			i += r
+		} else {
+			i++
+		}
 		if in.Kind != core.Mem {
 			continue
 		}
 		memN++
-		counts[in.Lanes[0]&^127]++
+		counts[in.Lines[0]]++
 	}
 	reused := 0
 	for _, c := range counts {

@@ -13,8 +13,11 @@
 #            job-to-worker mapping of the pool (the old inline CI
 #            recipe used gpusim -j 4 / latsweep -j 3 for the same
 #            reason).
-#   -check   after regenerating, fail if any golden changed
-#            (git diff --exit-code) — the CI gate mode.
+#   -check   after regenerating, fail if any golden changed — the CI
+#            gate mode. Each diverged file is named with the first
+#            line that differs (line number, pinned vs regenerated
+#            text), so a CI failure says which report and which
+#            number moved without anyone reproducing the run locally.
 #
 # Run from the repository root.
 set -eu
@@ -51,5 +54,30 @@ go run ./cmd/latsweep -workloads sc,cfd -max 400 -step 200 -warmup 2000 -window 
 go run ./cmd/bottleneck -workloads sc,leukocyte,kmeans -warmup 2000 -window 5000 -seed 1 -j "$J" > "$OUT/bottleneck.golden"
 
 if [ "$CHECK" = 1 ]; then
-  git diff --exit-code -- "$OUT"
+  # Name every diverged golden and its first differing line, then
+  # fail. `git diff --exit-code` alone says only *that* something
+  # moved; the gate's job is to say *what* — which report, which
+  # line, pinned vs regenerated — in the CI log itself.
+  FAILED=0
+  for f in "$OUT"/*.golden; do
+    if ! git diff --quiet -- "$f"; then
+      FAILED=1
+      echo "golden diverged: $f" >&2
+      # diff the pinned blob against the regenerated file and show the
+      # first hunk: its "NcN" header is the line number, `<` is the
+      # pinned text, `>` the regenerated text.
+      git show "HEAD:$f" | diff - "$f" | sed -n '1,4p' | sed 's/^/  /' >&2
+    fi
+  done
+  # Untracked goldens (a renamed output file) are drift too: git diff
+  # cannot see them, so say so explicitly instead of passing.
+  for f in $(git ls-files --others --exclude-standard -- "$OUT"); do
+    FAILED=1
+    echo "golden diverged: $f is not tracked (new or renamed output?)" >&2
+  done
+  if [ "$FAILED" = 1 ]; then
+    echo "golden check failed: regenerated reports differ from the pinned files" >&2
+    echo "(if the change is intentional, commit the regenerated goldens)" >&2
+    exit 1
+  fi
 fi
