@@ -9,15 +9,21 @@
 //	gpusimd [-addr :8337] [-cache-dir DIR] [-cache-bytes N]
 //	        [-max-concurrent N] [-queue-depth N] [-j N]
 //	        [-max-window N] [-config file.json] [-drain-timeout 30s]
+//	        [-peers http://hostA:8337,http://hostB:8337]
 //
-// Endpoints (see the README's "Running gpusimd" for examples):
+// Endpoints (see docs/api.md for the full reference):
 //
 //	GET  /healthz               liveness + queue occupancy
 //	GET  /v1/workloads          built-in benchmark and scenario names
 //	GET  /v1/stats              cache and queue counters
+//	GET  /v1/cache/{key}        peer-fetch: cached bytes by content address
 //	POST /v1/run                one measurement
 //	POST /v1/sweep/bottleneck   stall-attribution sweep
 //	POST /v1/sweep/scenarios    phase-structure sweep
+//
+// -peers names the other members of a worker fleet (see cmd/gpusimc):
+// before simulating a missed job, the worker asks the peers ranked
+// for that job's content address whether they already hold the bytes.
 //
 // SIGINT/SIGTERM drain gracefully: new jobs get 503, in-flight
 // simulations finish (up to -drain-timeout), then the process exits 0.
@@ -32,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,6 +57,7 @@ func main() {
 		maxWin   = flag.Int64("max-window", 0, "largest accepted warmup+window cycles per job (0 = default)")
 		cfgPath  = flag.String("config", "", "base architecture JSON (default: GTX480 baseline)")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		peers    = flag.String("peers", "", "comma-separated base URLs of fleet peers to fetch cached results from")
 	)
 	flag.Parse()
 
@@ -60,6 +68,13 @@ func main() {
 		QueueDepth:      *queue,
 		MaxParallelism:  *jobs,
 		MaxWindowCycles: *maxWin,
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				opts.Peers = append(opts.Peers, p)
+			}
+		}
 	}
 	if *cfgPath != "" {
 		data, err := os.ReadFile(*cfgPath)

@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/exp"
+	"repro/internal/fabric"
 	"repro/internal/resultcache"
 	"repro/internal/runner"
 	"repro/internal/serve"
@@ -427,3 +428,22 @@ type ExperimentServerOptions = serve.Options
 // NewExperimentServer builds the experiment service. Mount
 // Handler() on any mux or listener; call Drain on shutdown.
 func NewExperimentServer(o ExperimentServerOptions) (*ExperimentServer, error) { return serve.New(o) }
+
+// SweepCoordinator shards a sweep across a fleet of experiment
+// servers (cmd/gpusimd workers) and merges the results into a report
+// byte-identical to a single node's — the engine behind cmd/gpusimc.
+// Workers share their content-addressed caches peer-to-peer, jobs
+// route by rendezvous hashing for cache locality, and worker loss
+// retries elsewhere with bounded backoff.
+type SweepCoordinator = fabric.Coordinator
+
+// SweepCoordinatorOptions configures NewSweepCoordinator.
+type SweepCoordinatorOptions = fabric.Options
+
+// SweepJobEvent is one completed job's progress notification during a
+// coordinated sweep.
+type SweepJobEvent = fabric.JobEvent
+
+// NewSweepCoordinator builds a sweep coordinator over the given
+// worker fleet.
+func NewSweepCoordinator(o SweepCoordinatorOptions) (*SweepCoordinator, error) { return fabric.New(o) }

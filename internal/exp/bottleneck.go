@@ -57,6 +57,16 @@ func RunBottleneckBreakdown(base config.Config, wls []workload.Workload, p RunPa
 	if err != nil {
 		return BottleneckReport{}, err
 	}
+	return BuildBottleneckReport(base, wls, p, res), nil
+}
+
+// BuildBottleneckReport assembles the breakdown report from
+// already-measured results, res[i] belonging to wls[i]. It is the
+// pure merge half of RunBottleneckBreakdown, split out so a caller
+// that obtained the measurements elsewhere — the internal/fabric
+// coordinator collects them from a worker fleet — produces a report
+// byte-identical to a local run of the whole batch.
+func BuildBottleneckReport(base config.Config, wls []workload.Workload, p RunParams, res []sim.Results) BottleneckReport {
 	rep := BottleneckReport{Warmup: p.WarmupCycles, Window: p.WindowCycles,
 		Rows: make([]BottleneckRow, len(wls))}
 	for i, wl := range wls {
@@ -69,7 +79,7 @@ func RunBottleneckBreakdown(base config.Config, wls []workload.Workload, p RunPa
 			Back:     res[i].BackPressure,
 		}
 	}
-	return rep, nil
+	return rep
 }
 
 // String renders the per-workload stall stacks as one table: each

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -46,31 +47,56 @@ type ScenarioReport struct {
 // side by side. Single-phase specs are rejected: their control would
 // be themselves.
 func RunScenarioSweep(base config.Config, scenarios []workload.Spec, p RunParams) (ScenarioReport, error) {
-	if len(scenarios) == 0 {
-		return ScenarioReport{}, fmt.Errorf("exp: scenario sweep needs at least one scenario")
-	}
-	batch := make([]jobPair, len(scenarios))
-	for i, s := range scenarios {
-		if len(s.Phases) == 0 {
-			return ScenarioReport{}, fmt.Errorf("exp: %s is single-phase; the sweep compares phase structure against its flattened control", s.SpecName)
-		}
-		batch[i] = jobPair{scenario: s, control: s.Flatten()}
-	}
-	grid := make([]workload.Workload, 0, 2*len(scenarios))
-	for _, pr := range batch {
-		grid = append(grid, pr.scenario, pr.control)
-	}
-	res, err := Baselines(base, grid, p)
+	grid, err := ScenarioGrid(scenarios)
 	if err != nil {
 		return ScenarioReport{}, err
 	}
+	wls := make([]workload.Workload, len(grid))
+	for i, s := range grid {
+		wls[i] = s
+	}
+	res, err := Baselines(base, wls, p)
+	if err != nil {
+		return ScenarioReport{}, err
+	}
+	return BuildScenarioReport(scenarios, res), nil
+}
+
+// ScenarioGrid validates the scenarios and expands them into the
+// sweep's measurement grid: scenario, control, scenario, control —
+// each scenario immediately followed by its Flatten() fixed-mix
+// control, in input order. The grid order is part of the sweep's
+// byte-identity contract: BuildScenarioReport reads results pairwise
+// in exactly this layout.
+func ScenarioGrid(scenarios []workload.Spec) ([]workload.Spec, error) {
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("exp: scenario sweep needs at least one scenario")
+	}
+	grid := make([]workload.Spec, 0, 2*len(scenarios))
+	for _, s := range scenarios {
+		if len(s.Phases) == 0 {
+			return nil, fmt.Errorf("exp: %s is single-phase; the sweep compares phase structure against its flattened control", s.SpecName)
+		}
+		grid = append(grid, s, s.Flatten())
+	}
+	return grid, nil
+}
+
+// BuildScenarioReport assembles the comparison rows from
+// already-measured grid results laid out as ScenarioGrid produces
+// them: res[2i] is scenarios[i], res[2i+1] its flattened control. It
+// is the pure merge half of RunScenarioSweep, shared with the
+// internal/fabric coordinator so a fleet-merged report is
+// byte-identical to a local one.
+func BuildScenarioReport(scenarios []workload.Spec, res []sim.Results) ScenarioReport {
 	rep := ScenarioReport{Rows: make([]ScenarioRow, len(scenarios))}
-	for i, pr := range batch {
+	for i, s := range scenarios {
 		sr, cr := res[2*i], res[2*i+1]
+		control := s.Flatten()
 		row := ScenarioRow{
-			Scenario:         pr.scenario.SpecName,
-			Control:          pr.control.SpecName,
-			Phases:           len(pr.scenario.Phases),
+			Scenario:         s.SpecName,
+			Control:          control.SpecName,
+			Phases:           len(s.Phases),
 			ScenarioIPC:      sr.IPC,
 			ControlIPC:       cr.IPC,
 			ScenarioL2Full:   sr.L2AccessQueue.FullOfUsage,
@@ -83,12 +109,7 @@ func RunScenarioSweep(base config.Config, scenarios []workload.Spec, p RunParams
 		}
 		rep.Rows[i] = row
 	}
-	return rep, nil
-}
-
-// jobPair binds a scenario to its flattened control.
-type jobPair struct {
-	scenario, control workload.Spec
+	return rep
 }
 
 // String renders the comparison table.

@@ -1,0 +1,145 @@
+package resultcache
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/workload"
+)
+
+// TestValidKey: only well-formed content addresses pass — this is the
+// sole gate between network-supplied keys and the cache's filesystem
+// paths.
+func TestValidKey(t *testing.T) {
+	hex64 := strings.Repeat("ab12", 16)
+	valid := []string{
+		"run-" + hex64,
+		"sweep-bottleneck-" + hex64,
+		"sweep-scenarios-" + hex64,
+	}
+	for _, k := range valid {
+		if !ValidKey(k) {
+			t.Errorf("ValidKey(%q) = false, want true", k)
+		}
+	}
+	invalid := []string{
+		"",
+		hex64,                               // no prefix
+		"cache-" + hex64,                    // unknown prefix
+		"run-" + hex64[:63],                 // short digest
+		"run-" + hex64 + "0",                // long digest
+		"run-" + strings.Repeat("XY12", 16), // non-hex digest
+		"run-" + strings.Repeat("AB12", 16), // upper-case hex
+		"run-../" + hex64,                   // traversal
+		"run-..\\" + hex64,
+		"run-" + hex64 + "/x",
+		"run " + hex64, // space
+		"sweep-" + strings.Repeat("x", 120) + "-" + hex64, // over length cap
+	}
+	for _, k := range invalid {
+		if ValidKey(k) {
+			t.Errorf("ValidKey(%q) = true, want false", k)
+		}
+	}
+}
+
+// TestValidKeyAcceptsRealKeys: every key the cache actually mints
+// passes its own gate.
+func TestValidKeyAcceptsRealKeys(t *testing.T) {
+	cfg := config.GTX480Baseline()
+	spec := testSpec(t, `{"name":"p","warps":4,"dep_dist":2,"compute_per_mem":3,
+	                      "access_pattern":"strided","working_set_lines":512,
+	                      "lines_per_access":2,"stride_lines":17}`)
+	jk, err := JobKey(cfg, spec, 100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValidKey(jk) {
+		t.Errorf("minted job key %q fails ValidKey", jk)
+	}
+	sk, err := SweepKey("bottleneck", cfg, []workload.Spec{spec}, 100, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ValidKey(sk) {
+		t.Errorf("minted sweep key %q fails ValidKey", sk)
+	}
+}
+
+// TestRankDeterministic: the rendezvous order is a pure function of
+// (key, node set) — independent of input order and stable across
+// calls.
+func TestRankDeterministic(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	perm := []string{"http://c:1", "http://a:1", "http://d:1", "http://b:1"}
+	for _, key := range []string{"run-" + strings.Repeat("00", 32), "run-" + strings.Repeat("ff", 32)} {
+		r1 := Rank(key, nodes)
+		r2 := Rank(key, perm)
+		if len(r1) != len(nodes) {
+			t.Fatalf("Rank dropped nodes: %v", r1)
+		}
+		if fmt.Sprint(r1) != fmt.Sprint(r2) {
+			t.Errorf("key %s: order depends on input order: %v vs %v", key, r1, r2)
+		}
+		if fmt.Sprint(r1) != fmt.Sprint(Rank(key, nodes)) {
+			t.Errorf("key %s: Rank not stable across calls", key)
+		}
+		sorted := append([]string(nil), r1...)
+		sort.Strings(sorted)
+		want := append([]string(nil), nodes...)
+		sort.Strings(want)
+		if fmt.Sprint(sorted) != fmt.Sprint(want) {
+			t.Errorf("Rank is not a permutation: %v", r1)
+		}
+	}
+	if got := Rank("run-"+strings.Repeat("00", 32), nil); len(got) != 0 {
+		t.Errorf("Rank of empty node set = %v", got)
+	}
+}
+
+// TestRankInputIsolation: Rank must not mutate the caller's slice.
+func TestRankInputIsolation(t *testing.T) {
+	nodes := []string{"http://c:1", "http://a:1", "http://b:1"}
+	orig := fmt.Sprint(nodes)
+	Rank("run-"+strings.Repeat("ab", 32), nodes)
+	if fmt.Sprint(nodes) != orig {
+		t.Errorf("Rank reordered the caller's slice: %v", nodes)
+	}
+}
+
+// TestRankSpreadsKeys: over many keys, every node comes first for
+// some of them — the property that makes rendezvous routing a load
+// balancer and not a hot spot.
+func TestRankSpreadsKeys(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	first := map[string]int{}
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("run-%064x", i)
+		first[Rank(key, nodes)[0]]++
+	}
+	for _, n := range nodes {
+		// A uniform spread gives ~100 each; demanding ≥30 catches a
+		// broken hash without flaking on distribution noise.
+		if first[n] < 30 {
+			t.Errorf("node %s ranked first for only %d/300 keys: %v", n, first[n], first)
+		}
+	}
+}
+
+// TestRankMinimalDisruption: removing one node only reassigns the
+// keys that ranked it first — everyone else keeps their primary.
+func TestRankMinimalDisruption(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	survivors := []string{"http://a:1", "http://b:1"}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("run-%064x", i*7)
+		before := Rank(key, nodes)[0]
+		after := Rank(key, survivors)[0]
+		if before != "http://c:1" && after != before {
+			t.Errorf("key %s: primary moved %s → %s though its node survived", key, before, after)
+		}
+	}
+}

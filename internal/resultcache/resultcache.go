@@ -32,11 +32,14 @@ package resultcache
 import (
 	"container/list"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/config"
@@ -381,4 +384,68 @@ func Key(material any) (string, error) {
 	}
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:]), nil
+}
+
+// ValidKey reports whether key has the shape this package generates:
+// a run-/sweep- prefix followed by kind and hex-hash segments built
+// only from lowercase hex, digits and dashes. Network-facing layers
+// (the gpusimd /v1/cache/{key} peer-fetch endpoint) must reject
+// anything else before the key reaches a filesystem path — the key
+// doubles as a file name under Options.Dir, so this is the one gate
+// between untrusted input and filepath.Join.
+func ValidKey(key string) bool {
+	if len(key) < len(RunKeyPrefix)+hexKeyLen || len(key) > 128 {
+		return false
+	}
+	if !strings.HasPrefix(key, RunKeyPrefix) && !strings.HasPrefix(key, SweepKeyPrefix) {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '-' {
+			return false
+		}
+	}
+	// The address proper is always a full hex SHA-256 suffix in its
+	// own dash-delimited segment — a 65th trailing hex digit would
+	// make a key this package can never have minted.
+	if key[len(key)-hexKeyLen-1] != '-' {
+		return false
+	}
+	tail := key[len(key)-hexKeyLen:]
+	for i := 0; i < len(tail); i++ {
+		c := tail[i]
+		if (c < 'a' || c > 'f') && (c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// hexKeyLen is the length of a hex-encoded SHA-256 sum.
+const hexKeyLen = 2 * sha256.Size
+
+// Rank orders nodes by rendezvous (highest-random-weight) hashing for
+// key: every ranker that knows the same node set computes the same
+// order with no coordination, and removing one node only reassigns
+// the keys it owned. The fabric coordinator routes a job to
+// Rank(key, workers)[0] so repeated sweeps land on the worker whose
+// cache already holds the result, and a worker resolves the same
+// order to decide which peer to ask first on a local miss.
+func Rank(key string, nodes []string) []string {
+	ranked := make([]string, len(nodes))
+	copy(ranked, nodes)
+	scores := make(map[string]uint64, len(nodes))
+	for _, n := range ranked {
+		sum := sha256.Sum256([]byte(n + "\x00" + key))
+		scores[n] = binary.BigEndian.Uint64(sum[:8])
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		si, sj := scores[ranked[i]], scores[ranked[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
 }

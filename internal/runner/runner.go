@@ -99,24 +99,50 @@ func Execute(j Job) (sim.Results, error) {
 // simulations finish their window. A worker panic is captured and
 // reported as that job's error rather than tearing down the process.
 func Run(ctx context.Context, jobs []Job, opt Options) ([]sim.Results, error) {
-	results := make([]sim.Results, len(jobs))
-	if len(jobs) == 0 {
+	return Map(ctx, len(jobs), opt, func(i int) (sim.Results, error) {
+		res, err := execute(jobs[i])
+		if err != nil {
+			return sim.Results{}, fmt.Errorf("runner: job %d (%s): %w", i, jobName(jobs[i]), err)
+		}
+		return res, nil
+	})
+}
+
+// Map is the pool's ordered-results discipline, generalized: run
+// fn(0..n-1) on a bounded worker pool and return the values indexed
+// by i, regardless of completion order. It is what Run is built on,
+// and what lets other layers — the cluster coordinator in
+// internal/fabric farms one HTTP job per index out to a worker fleet
+// — inherit the same guarantees without re-proving them:
+//
+//   - results land at their submission index, so a deterministic fn
+//     yields a deterministic slice at any parallelism;
+//   - errors are collected per index and joined, one failure does not
+//     abort the rest;
+//   - ctx cancellation marks every not-yet-started index with
+//     ctx.Err() but lets in-flight calls finish;
+//   - a panicking fn is captured as that index's error;
+//   - Progress callbacks are serialized with a strictly increasing
+//     done count.
+func Map[T any](ctx context.Context, n int, opt Options, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
 		return results, nil
 	}
-	errs := make([]error, len(jobs))
+	errs := make([]error, n)
 
 	idxCh := make(chan int)
 	doneCh := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < opt.workers(len(jobs)); w++ {
+	for w := 0; w < opt.workers(n); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
 				if err := ctx.Err(); err != nil {
 					errs[i] = fmt.Errorf("runner: job %d canceled: %w", i, err)
-				} else if res, err := execute(jobs[i]); err != nil {
-					errs[i] = fmt.Errorf("runner: job %d (%s): %w", i, jobName(jobs[i]), err)
+				} else if res, err := guard(fn, i); err != nil {
+					errs[i] = err
 				} else {
 					results[i] = res
 				}
@@ -127,7 +153,7 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]sim.Results, error) {
 	go func() {
 		// Feeding never blocks forever: workers keep draining idxCh
 		// even after cancellation (they just record ctx.Err()).
-		for i := range jobs {
+		for i := 0; i < n; i++ {
 			idxCh <- i
 		}
 		close(idxCh)
@@ -135,14 +161,25 @@ func Run(ctx context.Context, jobs []Job, opt Options) ([]sim.Results, error) {
 
 	// The collector is the single goroutine that observes completions,
 	// so Progress needs no locking of its own.
-	for done := 1; done <= len(jobs); done++ {
+	for done := 1; done <= n; done++ {
 		<-doneCh
 		if opt.Progress != nil {
-			opt.Progress(done, len(jobs))
+			opt.Progress(done, n)
 		}
 	}
 	wg.Wait()
 	return results, errors.Join(errs...)
+}
+
+// guard runs fn(i) with panic capture, so one bad call surfaces as an
+// error on its own index instead of killing the pool.
+func guard[T any](fn func(int) (T, error), i int) (res T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runner: job %d panicked: %v", i, r)
+		}
+	}()
+	return fn(i)
 }
 
 // jobName labels a job for error messages; a zero-value Job has a

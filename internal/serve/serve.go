@@ -24,13 +24,24 @@
 //
 //	GET  /healthz               liveness + queue occupancy
 //	GET  /v1/workloads          built-in benchmark and scenario names
-//	GET  /v1/stats              cache and queue counters
+//	GET  /v1/stats              cache, queue and fleet counters
+//	GET  /v1/cache/{key}        peer fetch: stored bytes for a key, 404 on miss
 //	POST /v1/run                one measurement (name or inline spec)
 //	POST /v1/sweep/bottleneck   exp.RunBottleneckBreakdown over names
 //	POST /v1/sweep/scenarios    exp.RunScenarioSweep over scenarios
 //
-// Responses carry an X-Cache: hit|miss header; the JSON body of a hit
-// is byte-identical to the body the original miss returned.
+// Responses carry an X-Cache: hit|miss|peer header; the JSON body of
+// a hit is byte-identical to the body the original miss returned.
+//
+// A fourth property turns servers into a fleet: because cache keys
+// are location-independent (SHA-256 of the job description), a result
+// computed anywhere is valid everywhere. Options.Peers names sibling
+// servers; before simulating a missed job, a server asks the peers
+// most likely to hold the key (resultcache.Rank order) via their
+// /v1/cache/{key} endpoints and adopts — after validation — whatever
+// one of them already computed. /v1/cache itself never computes and
+// never forwards, so peer fetches are single-hop and cannot cascade.
+// The internal/fabric coordinator builds on exactly this contract.
 package serve
 
 import (
@@ -40,9 +51,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/exp"
@@ -72,6 +85,16 @@ type Options struct {
 	// (warmup + window), protecting the service from unbounded jobs
 	// (0 = 10,000,000).
 	MaxWindowCycles int64
+	// Peers lists sibling servers (base URLs, e.g.
+	// "http://10.0.0.2:8337") whose caches this server may read via
+	// their /v1/cache/{key} endpoints before simulating a missed job.
+	// Order does not matter: peers are consulted in resultcache.Rank
+	// order for the key, so the likeliest holder is asked first.
+	Peers []string
+	// PeerTimeout bounds each single peer-fetch attempt (0 = 2s). A
+	// slow or dead peer must cost less than the simulation it might
+	// have saved.
+	PeerTimeout time.Duration
 }
 
 // Server is the experiment service. Build with New, mount Handler,
@@ -84,11 +107,16 @@ type Server struct {
 	maxParallel int
 	maxWindow   int64
 	queueDepth  int
+	peers       []string
+	peerClient  *http.Client
 
-	mu       sync.Mutex
-	waiting  int
-	draining bool
-	inflight sync.WaitGroup
+	mu          sync.Mutex
+	waiting     int
+	draining    bool
+	simulations int64
+	peerHits    int64
+	peerMisses  int64
+	inflight    sync.WaitGroup
 }
 
 // Shed-load sentinels, mapped to 503.
@@ -129,6 +157,15 @@ func New(o Options) (*Server, error) {
 	if o.MaxWindowCycles <= 0 {
 		o.MaxWindowCycles = 10_000_000
 	}
+	if o.PeerTimeout <= 0 {
+		o.PeerTimeout = 2 * time.Second
+	}
+	for _, p := range o.Peers {
+		u, err := url.Parse(p)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("serve: peer %q is not an absolute URL", p)
+		}
+	}
 	s := &Server{
 		base:        base,
 		cache:       cache,
@@ -137,10 +174,13 @@ func New(o Options) (*Server, error) {
 		maxParallel: o.MaxParallelism,
 		maxWindow:   o.MaxWindowCycles,
 		queueDepth:  o.QueueDepth,
+		peers:       append([]string(nil), o.Peers...),
+		peerClient:  &http.Client{Timeout: o.PeerTimeout},
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
 	s.mux.HandleFunc("POST /v1/sweep/bottleneck", s.handleSweepBottleneck)
 	s.mux.HandleFunc("POST /v1/sweep/scenarios", s.handleSweepScenarios)
@@ -233,7 +273,20 @@ func (s *Server) runJob(ctx context.Context, compute func() ([]byte, error)) ([]
 		return nil, err
 	}
 	defer s.release()
+	s.mu.Lock()
+	s.simulations++
+	s.mu.Unlock()
 	return compute()
+}
+
+// Simulations counts the jobs this server actually computed itself —
+// cache hits and peer fetches excluded. It is the number the fleet
+// tests assert on: "a result computed on worker A is served by worker
+// B without recompute" means B's count stays at zero.
+func (s *Server) Simulations() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.simulations
 }
 
 // validateEntry vets result-cache entries loaded from disk before
@@ -251,10 +304,11 @@ func validateEntry(key string, val []byte) error {
 	return nil
 }
 
-// jobRequest is the shared request shape: methodology plus config
-// transforms. Field semantics match the gpusim flags of the same
-// names.
-type jobRequest struct {
+// JobRequest is the shared request shape of every job-submitting
+// endpoint — /v1/run, the /v1/sweep/* family, and the coordinator's
+// fabric endpoints, which accept exactly the same body. Field
+// semantics match the gpusim flags of the same names.
+type JobRequest struct {
 	// Workload is a built-in benchmark or scenario name; Spec is an
 	// inline JSON workload spec (exactly one of the two for /v1/run).
 	Workload string          `json:"workload,omitempty"`
@@ -263,21 +317,29 @@ type jobRequest struct {
 	// standard set).
 	Workloads []string `json:"workloads,omitempty"`
 
+	// Seed overrides the base config's RNG seed; Scale applies a
+	// Table I scaling set; FixedLatency (>= 0) swaps the hierarchy
+	// for a fixed-latency backend with that many cycles.
 	Seed         *uint64 `json:"seed,omitempty"`
 	Scale        string  `json:"scale,omitempty"`
 	FixedLatency *int64  `json:"fixed_latency,omitempty"`
-	Warmup       *int64  `json:"warmup_cycles,omitempty"`
-	Window       *int64  `json:"window_cycles,omitempty"`
+	// Warmup and Window override the default measurement methodology.
+	Warmup *int64 `json:"warmup_cycles,omitempty"`
+	Window *int64 `json:"window_cycles,omitempty"`
 	// Parallelism asks for sweep workers; it is capped by the server's
 	// MaxParallelism and deliberately not part of the cache key
 	// (results are bit-identical at any worker count).
 	Parallelism int `json:"parallelism,omitempty"`
 }
 
-// methodology resolves the request's config and run parameters
-// against the server's base and caps.
-func (s *Server) methodology(req jobRequest) (config.Config, exp.RunParams, error) {
-	cfg := s.base
+// ResolveMethodology resolves a request's config transforms and run
+// parameters against a base config and the serving layer's caps. It
+// is the one definition of "what simulation does this request
+// describe": the single-node server and the fabric coordinator both
+// call it, which is what makes their cache keys — and therefore their
+// bytes — agree.
+func ResolveMethodology(base config.Config, req JobRequest, maxParallel int, maxWindow int64) (config.Config, exp.RunParams, error) {
+	cfg := base
 	if req.Scale != "" {
 		set, err := config.ParseScalingSet(req.Scale)
 		if err != nil {
@@ -301,21 +363,27 @@ func (s *Server) methodology(req jobRequest) (config.Config, exp.RunParams, erro
 	if p.WarmupCycles < 0 || p.WindowCycles <= 0 {
 		return config.Config{}, exp.RunParams{}, fmt.Errorf("warmup must be >= 0 and window > 0")
 	}
-	if total := p.WarmupCycles + p.WindowCycles; total > s.maxWindow {
-		return config.Config{}, exp.RunParams{}, fmt.Errorf("warmup+window %d exceeds the server cap %d", total, s.maxWindow)
+	if total := p.WarmupCycles + p.WindowCycles; total > maxWindow {
+		return config.Config{}, exp.RunParams{}, fmt.Errorf("warmup+window %d exceeds the server cap %d", total, maxWindow)
 	}
 	p.Parallelism = req.Parallelism
-	if p.Parallelism <= 0 || p.Parallelism > s.maxParallel {
-		p.Parallelism = s.maxParallel
+	if p.Parallelism <= 0 || p.Parallelism > maxParallel {
+		p.Parallelism = maxParallel
 	}
 	return cfg, p, nil
+}
+
+// methodology resolves the request against this server's base and
+// caps.
+func (s *Server) methodology(req JobRequest) (config.Config, exp.RunParams, error) {
+	return ResolveMethodology(s.base, req, s.maxParallel, s.maxWindow)
 }
 
 // handleRun measures one workload, serving cached bytes when the job
 // has run before.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	var req jobRequest
-	if err := decodeRequest(r, &req); err != nil {
+	req, err := DecodeJobRequest(r)
+	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -363,7 +431,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	source := sourceMiss
 	val, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
+		if val, ok := s.peerFetch(r.Context(), key); ok {
+			source = sourcePeer
+			return val, nil
+		}
 		return s.runJob(r.Context(), func() ([]byte, error) {
 			res, err := exp.Measure(cfg, spec, p)
 			if err != nil {
@@ -376,7 +449,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, errStatus(err), err)
 		return
 	}
-	writeEnvelope(w, hit, envelope{
+	if hit {
+		source = sourceHit
+	}
+	writeEnvelope(w, source, Envelope{
 		Key: key, Kind: "measure", Workload: spec.SpecName,
 		WarmupCycles: p.WarmupCycles, WindowCycles: p.WindowCycles,
 		Results: val,
@@ -411,8 +487,8 @@ func (s *Server) handleSweepScenarios(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request, kind string,
 	defaults func() []string,
 	run func(config.Config, []workload.Spec, exp.RunParams) (any, error)) {
-	var req jobRequest
-	if err := decodeRequest(r, &req); err != nil {
+	req, err := DecodeJobRequest(r)
+	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -443,7 +519,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request, kind string
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
+	source := sourceMiss
 	val, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
+		if val, ok := s.peerFetch(r.Context(), key); ok {
+			source = sourcePeer
+			return val, nil
+		}
 		return s.runJob(r.Context(), func() ([]byte, error) {
 			rep, err := run(cfg, specs, p)
 			if err != nil {
@@ -456,11 +537,30 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request, kind string
 		httpError(w, errStatus(err), err)
 		return
 	}
-	writeEnvelope(w, hit, envelope{
+	if hit {
+		source = sourceHit
+	}
+	writeEnvelope(w, source, Envelope{
 		Key: key, Kind: "sweep-" + kind, Workloads: names,
 		WarmupCycles: p.WarmupCycles, WindowCycles: p.WindowCycles,
 		Report: val,
 	})
+}
+
+// SweepDefaults returns the default workload scope of the named sweep
+// kind ("bottleneck" or "scenarios") — the set a request with an
+// empty workloads list gets. The fabric coordinator resolves defaults
+// through this same function so a defaulted fleet sweep and a
+// defaulted single-node sweep describe identical grids.
+func SweepDefaults(kind string) ([]string, error) {
+	switch kind {
+	case "bottleneck":
+		return defaultBottleneckNames(), nil
+	case "scenarios":
+		return defaultScenarioNames(), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown sweep kind %q", kind)
+	}
 }
 
 // defaultBottleneckNames mirrors exp.DefaultBottleneckWorkloads as
@@ -514,6 +614,9 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	waiting := s.waiting
+	simulations := s.simulations
+	peerHits := s.peerHits
+	peerMisses := s.peerMisses
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"cache": s.cache.Stats(),
@@ -523,46 +626,131 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"max_active":  cap(s.sem),
 			"queue_depth": s.queueDepth,
 		},
+		"fleet": map[string]any{
+			"peers":       len(s.peers),
+			"peer_hits":   peerHits,
+			"peer_misses": peerMisses,
+			"simulations": simulations,
+		},
 	})
 }
 
-// envelope is the deterministic response body: cached payload bytes
-// wrapped in the (equally deterministic) job description, so a hit's
-// body is byte-identical to the original miss's.
-type envelope struct {
-	Key          string          `json:"key"`
-	Kind         string          `json:"kind"`
-	Workload     string          `json:"workload,omitempty"`
-	Workloads    []string        `json:"workloads,omitempty"`
-	WarmupCycles int64           `json:"warmup_cycles"`
-	WindowCycles int64           `json:"window_cycles"`
-	Results      json.RawMessage `json:"results,omitempty"`
-	Report       json.RawMessage `json:"report,omitempty"`
+// handleCacheGet is the peer-fetch endpoint: the raw stored bytes for
+// a key this server already holds (memory or validated disk), 404
+// otherwise. It never computes and never asks further peers — fetches
+// are single-hop by construction, so a fleet of mutual peers cannot
+// amplify one request into a fan-out storm.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !resultcache.ValidKey(key) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("malformed cache key"))
+		return
+	}
+	val, ok := s.cache.Get(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("key not cached here"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", sourceHit)
+	w.Write(val)
 }
 
-func writeEnvelope(w http.ResponseWriter, hit bool, env envelope) {
-	if hit {
-		w.Header().Set("X-Cache", "hit")
-	} else {
-		w.Header().Set("X-Cache", "miss")
+// peerFetch asks this server's peers — likeliest holder first, in
+// resultcache.Rank order — for an already-computed result before
+// falling back to simulation. Fetched bytes pass the same validation
+// as disk entries; anything else (error, timeout, junk) is treated as
+// a miss on that peer. The winning value is adopted into the local
+// cache by the enclosing GetOrCompute.
+func (s *Server) peerFetch(ctx context.Context, key string) ([]byte, bool) {
+	if len(s.peers) == 0 {
+		return nil, false
 	}
+	for _, peer := range resultcache.Rank(key, s.peers) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/cache/"+key, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := s.peerClient.Do(req)
+		if err != nil {
+			continue
+		}
+		val, err := io.ReadAll(http.MaxBytesReader(nil, resp.Body, maxPeerEntryBytes))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		if err := validateEntry(key, val); err != nil {
+			continue
+		}
+		s.mu.Lock()
+		s.peerHits++
+		s.mu.Unlock()
+		return val, true
+	}
+	s.mu.Lock()
+	s.peerMisses++
+	s.mu.Unlock()
+	return nil, false
+}
+
+// maxPeerEntryBytes bounds a peer-fetched payload; real entries are
+// kilobytes, so anything near this is a broken or hostile peer.
+const maxPeerEntryBytes = 16 << 20
+
+// Envelope is the deterministic response body of every job endpoint:
+// cached payload bytes wrapped in the (equally deterministic) job
+// description, so a hit's body is byte-identical to the original
+// miss's. The fabric coordinator emits the same shape, which is what
+// lets a fleet-merged sweep response be compared byte-for-byte
+// against a single node's.
+type Envelope struct {
+	// Key is the content address the payload is cached under.
+	Key string `json:"key"`
+	// Kind names the payload: "measure", "sweep-<kind>" or the
+	// coordinator's "run-batch".
+	Kind string `json:"kind"`
+	// Workload names a single measurement's subject; Workloads a
+	// sweep's scope.
+	Workload  string   `json:"workload,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+	// WarmupCycles and WindowCycles echo the resolved methodology.
+	WarmupCycles int64 `json:"warmup_cycles"`
+	WindowCycles int64 `json:"window_cycles"`
+	// Results holds exp.EncodeResults bytes (kind "measure"); Report a
+	// marshaled sweep report (sweep kinds).
+	Results json.RawMessage `json:"results,omitempty"`
+	Report  json.RawMessage `json:"report,omitempty"`
+}
+
+// X-Cache header values: where the response payload came from.
+const (
+	sourceHit  = "hit"
+	sourceMiss = "miss"
+	sourcePeer = "peer"
+)
+
+func writeEnvelope(w http.ResponseWriter, source string, env Envelope) {
+	w.Header().Set("X-Cache", source)
 	writeJSON(w, http.StatusOK, env)
 }
 
-// decodeRequest strictly parses the JSON request body: unknown fields
-// and trailing data are rejected, like every other parser in this
-// codebase — a concatenated second request must fail loudly, not be
-// silently dropped.
-func decodeRequest(r *http.Request, into *jobRequest) error {
+// DecodeJobRequest strictly parses the JSON request body of a job
+// endpoint: unknown fields and trailing data are rejected, like every
+// other parser in this codebase — a concatenated second request must
+// fail loudly, not be silently dropped. Shared with the fabric
+// coordinator so both layers accept exactly the same bodies.
+func DecodeJobRequest(r *http.Request) (JobRequest, error) {
+	var req JobRequest
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(into); err != nil {
-		return fmt.Errorf("parse request: %w", err)
+	if err := dec.Decode(&req); err != nil {
+		return JobRequest{}, fmt.Errorf("parse request: %w", err)
 	}
 	if _, err := dec.Token(); err != io.EOF {
-		return fmt.Errorf("parse request: trailing data after the JSON body")
+		return JobRequest{}, fmt.Errorf("parse request: trailing data after the JSON body")
 	}
-	return nil
+	return req, nil
 }
 
 // errStatus maps job errors to HTTP codes: shed-load conditions are

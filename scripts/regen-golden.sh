@@ -42,6 +42,7 @@ while [ $# -gt 0 ]; do
 done
 
 OUT=internal/exp/testdata
+FABRIC_OUT=internal/fabric/testdata
 
 LJ="$J"
 if [ "$J" -gt 1 ]; then
@@ -53,13 +54,20 @@ go run ./cmd/gpusim -workload kmeans -warmup 2000 -window 5000 -seed 1 -j "$J" >
 go run ./cmd/latsweep -workloads sc,cfd -max 400 -step 200 -warmup 2000 -window 5000 -j "$LJ" > "$OUT/latsweep-sc-cfd.golden"
 go run ./cmd/bottleneck -workloads sc,leukocyte,kmeans -warmup 2000 -window 5000 -seed 1 -j "$J" > "$OUT/bottleneck.golden"
 
+# The fabric golden pins a fleet-merged sweep body (coordinator over
+# three in-process workers). Its test owns the regeneration because
+# the fleet needs live HTTP servers, not a one-shot CLI pipe; the -j
+# sweep above doesn't apply — fleet merges are pinned byte-identical
+# at every worker count by the package tests.
+UPDATE_GOLDEN=1 go test ./internal/fabric/ -run TestGoldenFabricSweep -count 1 > /dev/null
+
 if [ "$CHECK" = 1 ]; then
   # Name every diverged golden and its first differing line, then
   # fail. `git diff --exit-code` alone says only *that* something
   # moved; the gate's job is to say *what* — which report, which
   # line, pinned vs regenerated — in the CI log itself.
   FAILED=0
-  for f in "$OUT"/*.golden; do
+  for f in "$OUT"/*.golden "$FABRIC_OUT"/*.golden; do
     if ! git diff --quiet -- "$f"; then
       FAILED=1
       echo "golden diverged: $f" >&2
@@ -71,7 +79,7 @@ if [ "$CHECK" = 1 ]; then
   done
   # Untracked goldens (a renamed output file) are drift too: git diff
   # cannot see them, so say so explicitly instead of passing.
-  for f in $(git ls-files --others --exclude-standard -- "$OUT"); do
+  for f in $(git ls-files --others --exclude-standard -- "$OUT" "$FABRIC_OUT"); do
     FAILED=1
     echo "golden diverged: $f is not tracked (new or renamed output?)" >&2
   done
