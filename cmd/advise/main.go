@@ -1,0 +1,81 @@
+// Command advise is the what-if bottleneck advisor: instead of citing
+// the usual mitigations — bigger caches, more MSHRs, a wider
+// interconnect, deeper queues — it runs the counterfactuals. For each
+// workload it measures the baseline plus every candidate intervention
+// (see Perturbations in the library docs) as one batch on the
+// experiment engine's worker pool, and ranks the interventions by IPC
+// recovered per unit of added hardware, marking the ones that target
+// the workload's dominant stall cause.
+//
+// By default it sweeps the paper's benchmark suite followed by the
+// multi-phase scenarios; the report is byte-identical at any
+// parallelism, and identical to what the daemons' /v1/sweep/advise
+// endpoint reports for the same request.
+//
+// Usage:
+//
+//	advise [-workloads bfs,sc] [-j N]
+//	       [-warmup 6000] [-window 20000] [-seed 1] [-csv] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	gpgpumem "repro"
+)
+
+func main() {
+	var (
+		wlNames = flag.String("workloads", "", "comma-separated workloads (default: the paper suite plus the multi-phase scenarios)")
+		jobs    = flag.Int("j", 0, "parallel simulations (0 = all cores)")
+		warmup  = flag.Int64("warmup", 6000, "warm-up cycles before measurement")
+		window  = flag.Int64("window", 20000, "measurement window in core cycles")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of the table")
+		asJSON  = flag.Bool("json", false, "emit the report as compact JSON (the /v1/sweep/advise report payload)")
+	)
+	flag.Parse()
+
+	cfg := gpgpumem.DefaultConfig()
+	cfg.Seed = *seed
+
+	var specs []gpgpumem.WorkloadSpec
+	if *wlNames == "" {
+		specs = gpgpumem.DefaultAdviseWorkloads()
+	} else {
+		for _, name := range strings.Split(*wlNames, ",") {
+			sp, err := gpgpumem.WorkloadSpecByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			specs = append(specs, sp)
+		}
+	}
+
+	p := gpgpumem.RunParams{WarmupCycles: *warmup, WindowCycles: *window, Parallelism: *jobs}
+	rep, err := gpgpumem.RunAdvise(cfg, specs, p)
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *asJSON:
+		data, err := json.Marshal(rep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	case *csv:
+		fmt.Print(rep.CSV())
+	default:
+		fmt.Print(rep.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "advise:", err)
+	os.Exit(1)
+}

@@ -11,7 +11,7 @@
 //	gpusimc -workers ... [-addr :8338]
 //
 //	# or run one sweep from the command line and exit
-//	gpusimc -workers ... -sweep bottleneck [-workloads cfd,lbm]
+//	gpusimc -workers ... -sweep advise [-workloads cfd,lbm]
 //	        [-warmup N] [-window N] [-seed N] [-scale half-bw] [-j N]
 //
 // Flags -config, -max-attempts, -backoff, -cooldown, -max-window and
@@ -21,9 +21,9 @@
 //
 // In serve mode the endpoints are:
 //
-//	GET  /healthz            liveness + fleet size
+//	GET  /healthz            liveness + API/code version + fleet size
 //	GET  /v1/workers         per-worker routing state
-//	POST /v1/sweep/{kind}    bottleneck | scenarios | run
+//	POST /v1/sweep/{kind}    bottleneck | scenarios | advise | run
 //
 // POST bodies are the same JobRequest documents gpusimd accepts;
 // "Accept: text/event-stream" streams per-job progress (see
@@ -52,7 +52,7 @@ func main() {
 	var (
 		workers  = flag.String("workers", "", "comma-separated gpusimd base URLs (required)")
 		addr     = flag.String("addr", ":8338", "listen address for serve mode (host:port; port 0 picks a free port)")
-		sweep    = flag.String("sweep", "", "run one sweep and exit: bottleneck, scenarios or run")
+		sweep    = flag.String("sweep", "", "run one sweep and exit: "+strings.Join(gpgpumem.SweepKindNames(), ", "))
 		names    = flag.String("workloads", "", "comma-separated workload names for -sweep (default: the sweep's standard set)")
 		warmup   = flag.Int64("warmup", -1, "warm-up cycles before measurement (-1 = default methodology)")
 		window   = flag.Int64("window", -1, "measured window cycles (-1 = default methodology)")

@@ -286,6 +286,91 @@ func TestGpusimcWorkerKilledMidSweep(t *testing.T) {
 	}
 }
 
+// TestGpusimcAdviseKilledWorker is the advise acceptance check across
+// real processes: a 3-worker fleet runs /v1/sweep/advise — perturbed
+// per-job configs and all — while one worker is SIGKILLed mid-sweep.
+// The merged body must stay byte-identical to a single worker's, and
+// the report payload must equal cmd/advise -json for the same request,
+// tying the fleet bytes to the single-node CLI.
+func TestGpusimcAdviseKilledWorker(t *testing.T) {
+	cmds, urls, coordURL := fleet(t, 3, "-backoff", "10ms")
+
+	body := `{"workloads":["sc","kmeans"],"warmup_cycles":200,"window_cycles":500}`
+	code, want := postJSON(t, urls[0]+"/v1/sweep/advise", body, nil)
+	if code != http.StatusOK {
+		t.Fatalf("single worker advise: %d %s", code, want)
+	}
+
+	req, err := http.NewRequest(http.MethodPost, coordURL+"/v1/sweep/advise", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("SSE advise sweep: %d", resp.StatusCode)
+	}
+
+	var done string
+	killed := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var event, data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if event == "job" && !killed {
+				killed = true
+				if err := cmds[2].Process.Kill(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if event == "error" {
+				t.Fatalf("advise sweep failed mid-stream: %s", data)
+			}
+			if event == "done" {
+				done = data
+			}
+			event, data = "", ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !killed || done == "" {
+		t.Fatalf("stream incomplete: killed=%v done=%q", killed, done)
+	}
+	if done+"\n" != want {
+		t.Errorf("merged advise after worker kill differs from single node:\n got: %s\nwant: %s", done, want)
+	}
+
+	// The report inside the envelope is exactly cmd/advise -json for
+	// the same workloads and methodology (seed 1 is both the CLI
+	// default and the workers' baseline).
+	var env struct {
+		Report json.RawMessage `json:"report"`
+	}
+	if err := json.Unmarshal([]byte(done), &env); err != nil {
+		t.Fatal(err)
+	}
+	adviseBin := clitest.Build(t, "repro/cmd/advise")
+	cliOut, _ := clitest.Run(t, adviseBin,
+		"-workloads", "sc,kmeans", "-warmup", "200", "-window", "500", "-seed", "1", "-json")
+	if strings.TrimSuffix(cliOut, "\n") != string(env.Report) {
+		t.Errorf("fleet advise report differs from cmd/advise -json:\n got: %s\nwant: %s", env.Report, cliOut)
+	}
+}
+
 // TestGpusimcOneShot: -sweep mode prints the merged envelope to
 // stdout and per-job progress to stderr, then exits 0.
 func TestGpusimcOneShot(t *testing.T) {

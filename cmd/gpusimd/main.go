@@ -13,13 +13,14 @@
 //
 // Endpoints (see docs/api.md for the full reference):
 //
-//	GET  /healthz               liveness + queue occupancy
+//	GET  /healthz               liveness + API/code version + queue occupancy
 //	GET  /v1/workloads          built-in benchmark and scenario names
 //	GET  /v1/stats              cache and queue counters
 //	GET  /v1/cache/{key}        peer-fetch: cached bytes by content address
 //	POST /v1/run                one measurement
-//	POST /v1/sweep/bottleneck   stall-attribution sweep
-//	POST /v1/sweep/scenarios    phase-structure sweep
+//	POST /v1/sweep/{kind}       any registered sweep kind
+//	                            (bottleneck, scenarios, advise, run)
+//	POST /v1/advise             alias for /v1/sweep/advise
 //
 // -peers names the other members of a worker fleet (see cmd/gpusimc):
 // before simulating a missed job, the worker asks the peers ranked

@@ -33,6 +33,7 @@ import (
 	"context"
 	"io"
 
+	"repro/internal/api"
 	"repro/internal/config"
 	"repro/internal/exp"
 	"repro/internal/fabric"
@@ -358,6 +359,51 @@ func RunBottleneckBreakdown(base Config, wls []Workload, p RunParams) (Bottlenec
 func RenderBatchStallReport(wls []Workload, res []Results) string {
 	return exp.BatchStallReport(wls, res)
 }
+
+// Perturbation is one candidate intervention of the what-if advisor: a
+// named architectural (or software) change, the stall causes it
+// targets, its rough relative cost, and the pure transform producing
+// the perturbed (config, spec) pair.
+type Perturbation = exp.Perturbation
+
+// Perturbations returns the advisor's candidate interventions in grid
+// order: 2× L1/L2, 4× MSHRs, a wider crossbar, deeper L2/DRAM queues,
+// and a forced fully-coalesced spec variant.
+func Perturbations() []Perturbation { return exp.Perturbations() }
+
+// AdviseReport is the what-if advisor's answer: per workload, every
+// intervention ranked by IPC recovered per unit of added hardware.
+type AdviseReport = exp.AdviseReport
+
+// AdviseRow is one workload's ranked verdict in an AdviseReport.
+type AdviseRow = exp.AdviseRow
+
+// AdviseOutcome is one measured intervention within an AdviseRow.
+type AdviseOutcome = exp.AdviseOutcome
+
+// DefaultAdviseWorkloads returns the advisor's default scope — the
+// suite-plus-scenarios set the bottleneck breakdown sweeps — as specs.
+func DefaultAdviseWorkloads() []WorkloadSpec { return exp.DefaultAdviseWorkloads() }
+
+// WorkloadSpecByName returns a built-in benchmark or scenario as its
+// underlying spec (the form the advisor and the sweep endpoints take).
+func WorkloadSpecByName(name string) (WorkloadSpec, error) { return workload.SpecByName(name) }
+
+// RunAdvise runs the what-if bottleneck advisor: for each workload it
+// measures the baseline plus every Perturbations() candidate (one
+// batch on the worker pool) and ranks the interventions by IPC
+// recovered per unit of cost, marking the ones that target the
+// workload's dominant stall cause. The engine behind cmd/advise and
+// the "advise" sweep kind; the report is bit-identical at any
+// parallelism.
+func RunAdvise(base Config, specs []WorkloadSpec, p RunParams) (AdviseReport, error) {
+	return exp.RunAdvise(base, specs, p)
+}
+
+// SweepKindNames lists the registered sweep kinds — the valid {kind}
+// segments of the daemons' POST /v1/sweep/{kind} endpoints and of
+// gpusimc -sweep — in registry order.
+func SweepKindNames() []string { return api.KindNames() }
 
 // ScenarioReport compares multi-phase scenarios against their
 // duration-weighted fixed-mix controls (WorkloadSpec.Flatten).

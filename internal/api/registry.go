@@ -1,0 +1,222 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/exp"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Job is one grid entry of a sweep: the exact (config, spec) pair to
+// measure. Most kinds measure every spec on the request's resolved
+// config; the advise kind perturbs the architecture per job, which is
+// why the grid carries configs rather than assuming one.
+type Job struct {
+	Config config.Config
+	Spec   workload.Spec
+}
+
+// GridResult is one grid entry's measurement, however it was obtained
+// — computed locally, served from a cache, or collected from a fleet
+// worker. Encoded carries the exact exp.EncodeResults bytes (the
+// run-batch report embeds them verbatim); Results the decoded
+// snapshot the merge halves consume.
+type GridResult struct {
+	// Key is the entry's content address (resultcache.JobKey of its
+	// config, spec and methodology).
+	Key     string
+	Encoded []byte
+	Results sim.Results
+}
+
+// Kind is one registered sweep: everything a serving surface needs to
+// validate a request, expand it into independent measurement jobs,
+// and merge ordered results into the deterministic report — the
+// single definition consumed by internal/serve (POST /v1/sweep/{kind}),
+// the internal/fabric coordinator (sharded + SSE) and the one-shot
+// CLIs. Adding a sweep to every surface at once is adding one entry
+// to the registry.
+type Kind struct {
+	// Name is the kind's wire name — the {kind} path segment and the
+	// resultcache.SweepKey kind string.
+	Name string
+	// ResponseKind is the merged envelope's Kind field ("sweep-<name>"
+	// for report sweeps, "run-batch" for the plain measurement batch).
+	ResponseKind string
+	// Description is a one-line summary for documentation and
+	// discovery listings.
+	Description string
+	// Defaults returns the workload scope a request with an empty
+	// workloads list gets. A nil Defaults means the kind requires an
+	// explicit list.
+	Defaults func() []string
+	// Grid expands the resolved (config, specs) into the sweep's
+	// measurement grid. The order is part of the sweep's byte-identity
+	// contract: Report reads results at exactly these indices.
+	Grid func(cfg config.Config, specs []workload.Spec) ([]Job, error)
+	// Report is the pure merge half: it assembles the report payload
+	// from ordered grid results. res[i] belongs to grid[i]; the same
+	// function merges local batches and fleet-collected results, which
+	// is what makes the two byte-identical.
+	Report func(cfg config.Config, specs []workload.Spec, p exp.RunParams, grid []Job, res []GridResult) (json.RawMessage, error)
+}
+
+// decoded projects grid results onto the []sim.Results layout the exp
+// merge halves take.
+func decoded(res []GridResult) []sim.Results {
+	rs := make([]sim.Results, len(res))
+	for i, r := range res {
+		rs[i] = r.Results
+	}
+	return rs
+}
+
+// specJobs is the one-job-per-spec grid shared by the kinds that
+// measure each workload once on the request's config.
+func specJobs(cfg config.Config, specs []workload.Spec) ([]Job, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sweep needs at least one workload")
+	}
+	grid := make([]Job, len(specs))
+	for i, sp := range specs {
+		grid[i] = Job{Config: cfg, Spec: sp}
+	}
+	return grid, nil
+}
+
+// kinds is the registry, in documentation order. It is built by a
+// function (not a package var) so every caller gets fresh closures
+// and nothing can mutate the shared definition.
+func kinds() []Kind {
+	return []Kind{
+		{
+			Name:         "bottleneck",
+			ResponseKind: "sweep-bottleneck",
+			Description:  "per-workload stall-cycle attribution (exp.BottleneckReport)",
+			Defaults:     suiteAndScenarioNames,
+			Grid:         specJobs,
+			Report: func(cfg config.Config, specs []workload.Spec, p exp.RunParams, grid []Job, res []GridResult) (json.RawMessage, error) {
+				wls := make([]workload.Workload, len(specs))
+				for i, sp := range specs {
+					wls[i] = sp
+				}
+				return json.Marshal(exp.BuildBottleneckReport(cfg, wls, p, decoded(res)))
+			},
+		},
+		{
+			Name:         "scenarios",
+			ResponseKind: "sweep-scenarios",
+			Description:  "multi-phase scenarios vs their fixed-mix controls (exp.ScenarioReport)",
+			Defaults:     scenarioNames,
+			Grid: func(cfg config.Config, specs []workload.Spec) ([]Job, error) {
+				pairs, err := exp.ScenarioGrid(specs)
+				if err != nil {
+					return nil, err
+				}
+				grid := make([]Job, len(pairs))
+				for i, sp := range pairs {
+					grid[i] = Job{Config: cfg, Spec: sp}
+				}
+				return grid, nil
+			},
+			Report: func(cfg config.Config, specs []workload.Spec, p exp.RunParams, grid []Job, res []GridResult) (json.RawMessage, error) {
+				return json.Marshal(exp.BuildScenarioReport(specs, decoded(res)))
+			},
+		},
+		{
+			Name:         "advise",
+			ResponseKind: "sweep-advise",
+			Description:  "what-if advisor: interventions ranked by IPC recovered per unit cost (exp.AdviseReport)",
+			Defaults:     suiteAndScenarioNames,
+			Grid: func(cfg config.Config, specs []workload.Spec) ([]Job, error) {
+				ajs, err := exp.AdviseGrid(cfg, specs)
+				if err != nil {
+					return nil, err
+				}
+				grid := make([]Job, len(ajs))
+				for i, aj := range ajs {
+					grid[i] = Job{Config: aj.Config, Spec: aj.Spec}
+				}
+				return grid, nil
+			},
+			Report: func(cfg config.Config, specs []workload.Spec, p exp.RunParams, grid []Job, res []GridResult) (json.RawMessage, error) {
+				rep, err := exp.BuildAdviseReport(specs, p, decoded(res))
+				if err != nil {
+					return nil, err
+				}
+				return json.Marshal(rep)
+			},
+		},
+		{
+			Name:         "run",
+			ResponseKind: "run-batch",
+			Description:  "plain measurement batch: the ordered per-workload run envelopes",
+			Defaults:     nil, // a run batch needs an explicit workloads list
+			Grid:         specJobs,
+			Report: func(cfg config.Config, specs []workload.Spec, p exp.RunParams, grid []Job, res []GridResult) (json.RawMessage, error) {
+				envs := make([]Envelope, len(grid))
+				for i := range grid {
+					envs[i] = Envelope{
+						Key: res[i].Key, Kind: "measure",
+						Workload:     grid[i].Spec.SpecName,
+						WarmupCycles: p.WarmupCycles, WindowCycles: p.WindowCycles,
+						Results: res[i].Encoded,
+					}
+				}
+				return json.Marshal(envs)
+			},
+		},
+	}
+}
+
+// Kinds returns every registered sweep kind, in documentation order.
+func Kinds() []Kind { return kinds() }
+
+// KindNames lists the registered kind names in registry order — the
+// valid {kind} path segments, also embedded in error messages so the
+// hints stay truthful as kinds are added.
+func KindNames() []string {
+	ks := kinds()
+	names := make([]string, len(ks))
+	for i, k := range ks {
+		names[i] = k.Name
+	}
+	return names
+}
+
+// KindByName resolves a wire name to its registry entry; the error
+// lists the valid names.
+func KindByName(name string) (Kind, error) {
+	for _, k := range kinds() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kind{}, fmt.Errorf("unknown sweep kind %q (want %s)", name, strings.Join(KindNames(), ", "))
+}
+
+// suiteAndScenarioNames is the suite-plus-scenarios default scope
+// shared by the bottleneck and advise kinds, mirroring
+// exp.DefaultBottleneckWorkloads as names.
+func suiteAndScenarioNames() []string {
+	wls := exp.DefaultBottleneckWorkloads()
+	names := make([]string, len(wls))
+	for i, wl := range wls {
+		names[i] = wl.Name()
+	}
+	return names
+}
+
+// scenarioNames lists the built-in multi-phase scenarios.
+func scenarioNames() []string {
+	ss := workload.Scenarios()
+	names := make([]string, len(ss))
+	for i, sp := range ss {
+		names[i] = sp.SpecName
+	}
+	return names
+}

@@ -22,6 +22,14 @@
 //     same discipline that makes the in-process worker pool
 //     deterministic — reused here at cluster scale.
 //
+// The sweeps themselves come from the internal/api sweep-kind
+// registry: the coordinator holds no per-kind logic. A kind's Grid
+// half expands the request into (config, spec) jobs — per-job configs
+// are what let the advise kind perturb the architecture — and its
+// Report half merges the ordered results, the same pure function a
+// single node runs, which is what makes the fleet-merged report
+// byte-identical.
+//
 // Jobs route by rendezvous hashing (resultcache.Rank) so repeated
 // sweeps revisit the worker whose cache already holds each result; a
 // failed attempt retries on the next-ranked worker with exponential
@@ -45,12 +53,11 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/config"
 	"repro/internal/exp"
 	"repro/internal/resultcache"
 	"repro/internal/runner"
-	"repro/internal/serve"
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -172,21 +179,6 @@ func New(o Options) (*Coordinator, error) {
 	}, nil
 }
 
-// Sweep kinds the coordinator accepts on /v1/sweep/{kind} and
-// RunSweep.
-const (
-	// KindBottleneck merges per-workload stall stacks into an
-	// exp.BottleneckReport, byte-identical to a single node's
-	// /v1/sweep/bottleneck response.
-	KindBottleneck = "bottleneck"
-	// KindScenarios merges scenario/control pairs into an
-	// exp.ScenarioReport, byte-identical to /v1/sweep/scenarios.
-	KindScenarios = "scenarios"
-	// KindRun is a plain measurement batch: the merged report is the
-	// ordered list of per-workload /v1/run envelopes.
-	KindRun = "run"
-)
-
 // JobEvent describes one completed job of a running sweep — the
 // payload of the SSE "job" progress events.
 type JobEvent struct {
@@ -254,78 +246,87 @@ func badRequest(format string, args ...any) error {
 	return &RequestError{Err: fmt.Errorf(format, args...)}
 }
 
-// RunSweep shards the requested sweep across the fleet and returns
-// the merged response envelope. The envelope — key, kind, workload
-// names, methodology and report — is byte-identical under
-// json.Marshal to what a single gpusimd node returns for the same
-// request on its own /v1/sweep/{kind} endpoint (KindRun, which has no
-// single-node endpoint, is pinned by golden instead). progress, when
-// non-nil, is called serially after each job completes.
-func (c *Coordinator) RunSweep(ctx context.Context, kind string, req serve.JobRequest, progress func(JobEvent)) (serve.Envelope, error) {
+// RunSweep shards the requested sweep — any kind registered in
+// internal/api — across the fleet and returns the merged response
+// envelope. The envelope — key, kind, workload names, methodology and
+// report — is byte-identical under json.Marshal to what a single
+// gpusimd node returns for the same request on its own
+// /v1/sweep/{kind} endpoint. progress, when non-nil, is called
+// serially after each job completes.
+func (c *Coordinator) RunSweep(ctx context.Context, kind string, req api.JobRequest, progress func(JobEvent)) (api.Envelope, error) {
+	k, err := api.KindByName(kind)
+	if err != nil {
+		return api.Envelope{}, badRequest("%v", err)
+	}
 	if req.Workload != "" || len(req.Spec) > 0 {
-		return serve.Envelope{}, badRequest("sweeps take a workloads list, not workload/spec")
+		return api.Envelope{}, badRequest("sweeps take a workloads list, not workload/spec")
 	}
 	names := req.Workloads
 	if len(names) == 0 {
-		if kind == KindRun {
-			return serve.Envelope{}, badRequest("a run batch needs an explicit workloads list")
+		if k.Defaults == nil {
+			return api.Envelope{}, badRequest("a %s batch needs an explicit workloads list", k.Name)
 		}
-		var err error
-		names, err = serve.SweepDefaults(kind)
-		if err != nil {
-			return serve.Envelope{}, badRequest("%v", err)
-		}
+		names = k.Defaults()
 	}
 	specs := make([]workload.Spec, len(names))
 	for i, n := range names {
 		sp, err := workload.SpecByName(n)
 		if err != nil {
-			return serve.Envelope{}, badRequest("%v", err)
+			return api.Envelope{}, badRequest("%v", err)
 		}
 		specs[i] = sp
 	}
-	cfg, p, err := serve.ResolveMethodology(c.base, req, c.maxParallel, c.maxWindow)
+	cfg, p, err := api.ResolveMethodology(c.base, req, c.maxParallel, c.maxWindow)
 	if err != nil {
-		return serve.Envelope{}, badRequest("%v", err)
+		return api.Envelope{}, badRequest("%v", err)
 	}
 
 	// The grid is the sweep's unit of distribution: one /v1/run
 	// measurement per entry, in an order the merge step depends on.
-	var grid []workload.Spec
-	switch kind {
-	case KindBottleneck, KindRun:
-		grid = specs
-	case KindScenarios:
-		grid, err = exp.ScenarioGrid(specs)
-		if err != nil {
-			return serve.Envelope{}, badRequest("%v", err)
-		}
-	default:
-		return serve.Envelope{}, badRequest("unknown sweep kind %q (want %s, %s or %s)",
-			kind, KindBottleneck, KindScenarios, KindRun)
+	grid, err := k.Grid(cfg, specs)
+	if err != nil {
+		return api.Envelope{}, badRequest("%v", err)
 	}
 
 	keys := make([]string, len(grid))
 	bodies := make([][]byte, len(grid))
-	for i, sp := range grid {
-		key, err := resultcache.JobKey(cfg, sp, p.WarmupCycles, p.WindowCycles)
+	for i, g := range grid {
+		key, err := resultcache.JobKey(g.Config, g.Spec, p.WarmupCycles, p.WindowCycles)
 		if err != nil {
-			return serve.Envelope{}, badRequest("%s: %v", sp.SpecName, err)
+			return api.Envelope{}, badRequest("%s: %v", g.Spec.SpecName, err)
 		}
-		canon, err := sp.CanonicalJSON()
+		canon, err := g.Spec.CanonicalJSON()
 		if err != nil {
-			return serve.Envelope{}, badRequest("%s: %v", sp.SpecName, err)
+			return api.Envelope{}, badRequest("%s: %v", g.Spec.SpecName, err)
 		}
-		body, err := json.Marshal(serve.JobRequest{
+		jr := api.JobRequest{
 			Spec:         canon,
 			Seed:         req.Seed,
 			Scale:        req.Scale,
 			FixedLatency: req.FixedLatency,
 			Warmup:       &p.WarmupCycles,
 			Window:       &p.WindowCycles,
-		})
+		}
+		if g.Config != cfg {
+			// A perturbed grid entry (the advise kind) does not share
+			// the fleet's base architecture: ship the fully resolved
+			// config inline and drop the transforms, which are already
+			// baked into it. The worker's key check still guards
+			// code-version drift.
+			cj, err := json.Marshal(g.Config)
+			if err != nil {
+				return api.Envelope{}, fmt.Errorf("fabric: marshal config for %s: %w", g.Spec.SpecName, err)
+			}
+			jr = api.JobRequest{
+				Spec:   canon,
+				Config: cj,
+				Warmup: &p.WarmupCycles,
+				Window: &p.WindowCycles,
+			}
+		}
+		body, err := json.Marshal(jr)
 		if err != nil {
-			return serve.Envelope{}, fmt.Errorf("fabric: marshal job %s: %w", sp.SpecName, err)
+			return api.Envelope{}, fmt.Errorf("fabric: marshal job %s: %w", g.Spec.SpecName, err)
 		}
 		keys[i] = key
 		bodies[i] = body
@@ -337,7 +338,7 @@ func (c *Coordinator) RunSweep(ctx context.Context, kind string, req serve.JobRe
 	var emitMu sync.Mutex
 	done := 0
 	outs, err := runner.Map(ctx, len(grid), runner.Options{Parallelism: p.Parallelism}, func(i int) (jobResult, error) {
-		out, err := c.executeJob(ctx, grid[i].SpecName, keys[i], bodies[i])
+		out, err := c.executeJob(ctx, grid[i].Spec.SpecName, keys[i], bodies[i])
 		if err != nil {
 			return jobResult{}, err
 		}
@@ -346,7 +347,7 @@ func (c *Coordinator) RunSweep(ctx context.Context, kind string, req serve.JobRe
 			done++
 			progress(JobEvent{
 				Index: i, Total: len(grid), Done: done,
-				Workload: grid[i].SpecName,
+				Workload: grid[i].Spec.SpecName,
 				Worker:   out.worker, Attempt: out.attempt, Source: out.source,
 			})
 			emitMu.Unlock()
@@ -354,61 +355,38 @@ func (c *Coordinator) RunSweep(ctx context.Context, kind string, req serve.JobRe
 		return out, nil
 	})
 	if err != nil {
-		return serve.Envelope{}, err
+		return api.Envelope{}, err
 	}
 
-	env := serve.Envelope{
+	// The merge is the kind's pure Report half over the ordered,
+	// key-verified results — the same function a single node runs over
+	// its locally computed batch.
+	res := make([]api.GridResult, len(outs))
+	for i, out := range outs {
+		r, err := exp.DecodeResults(out.env.Results)
+		if err != nil {
+			return api.Envelope{}, fmt.Errorf("fabric: job %s result from %s: %w",
+				grid[i].Spec.SpecName, out.worker, err)
+		}
+		res[i] = api.GridResult{Key: keys[i], Encoded: out.env.Results, Results: r}
+	}
+	report, err := k.Report(cfg, specs, p, grid, res)
+	if err != nil {
+		return api.Envelope{}, fmt.Errorf("fabric: merge %s report: %w", k.Name, err)
+	}
+	env := api.Envelope{
+		Kind:         k.ResponseKind,
 		Workloads:    names,
 		WarmupCycles: p.WarmupCycles,
 		WindowCycles: p.WindowCycles,
-	}
-	switch kind {
-	case KindRun:
-		// The batch report is the ordered per-job envelopes verbatim;
-		// json.RawMessage round-trips the workers' bytes untouched.
-		envs := make([]serve.Envelope, len(outs))
-		for i, out := range outs {
-			envs[i] = out.env
-		}
-		report, err := json.Marshal(envs)
-		if err != nil {
-			return serve.Envelope{}, fmt.Errorf("fabric: marshal run batch: %w", err)
-		}
-		env.Kind = "run-batch"
-		env.Report = report
-	default:
-		res := make([]sim.Results, len(outs))
-		for i, out := range outs {
-			r, err := exp.DecodeResults(out.env.Results)
-			if err != nil {
-				return serve.Envelope{}, fmt.Errorf("fabric: job %s result from %s: %w",
-					grid[i].SpecName, out.worker, err)
-			}
-			res[i] = r
-		}
-		var rep any
-		if kind == KindBottleneck {
-			wls := make([]workload.Workload, len(specs))
-			for i, sp := range specs {
-				wls[i] = sp
-			}
-			rep = exp.BuildBottleneckReport(cfg, wls, p, res)
-		} else {
-			rep = exp.BuildScenarioReport(specs, res)
-		}
-		report, err := json.Marshal(rep)
-		if err != nil {
-			return serve.Envelope{}, fmt.Errorf("fabric: marshal %s report: %w", kind, err)
-		}
-		env.Kind = "sweep-" + kind
-		env.Report = report
+		Report:       report,
 	}
 	// The sweep's content address is computed exactly as a single
 	// node computes it, so the merged envelope carries the same key a
 	// single-node response would.
-	env.Key, err = resultcache.SweepKey(kind, cfg, specs, p.WarmupCycles, p.WindowCycles)
+	env.Key, err = resultcache.SweepKey(k.Name, cfg, specs, p.WarmupCycles, p.WindowCycles)
 	if err != nil {
-		return serve.Envelope{}, fmt.Errorf("fabric: sweep key: %w", err)
+		return api.Envelope{}, fmt.Errorf("fabric: sweep key: %w", err)
 	}
 	return env, nil
 }
@@ -416,7 +394,7 @@ func (c *Coordinator) RunSweep(ctx context.Context, kind string, req serve.JobRe
 // jobResult is one grid entry's outcome: the worker's envelope plus
 // routing metadata for the progress event.
 type jobResult struct {
-	env     serve.Envelope
+	env     api.Envelope
 	worker  string
 	attempt int
 	source  string
@@ -460,27 +438,27 @@ func (c *Coordinator) executeJob(ctx context.Context, name, key string, body []b
 // the outcome: transport errors and 5xx are retryable (the job is
 // requeued onto the next-ranked worker), 4xx are permanent (the job
 // itself is wrong and no worker will accept it).
-func (c *Coordinator) post(ctx context.Context, worker string, body []byte) (env serve.Envelope, source string, retryable bool, err error) {
+func (c *Coordinator) post(ctx context.Context, worker string, body []byte) (env api.Envelope, source string, retryable bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, worker+"/v1/run", bytes.NewReader(body))
 	if err != nil {
-		return serve.Envelope{}, "", false, err
+		return api.Envelope{}, "", false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return serve.Envelope{}, "", true, err
+		return api.Envelope{}, "", true, err
 	}
 	data, err := io.ReadAll(http.MaxBytesReader(nil, resp.Body, maxWorkerResponseBytes))
 	resp.Body.Close()
 	if err != nil {
-		return serve.Envelope{}, "", true, fmt.Errorf("read response: %w", err)
+		return api.Envelope{}, "", true, fmt.Errorf("read response: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		err := fmt.Errorf("worker returned %s: %s", resp.Status, firstLine(data))
-		return serve.Envelope{}, "", resp.StatusCode >= 500, err
+		return api.Envelope{}, "", resp.StatusCode >= 500, err
 	}
 	if err := json.Unmarshal(data, &env); err != nil {
-		return serve.Envelope{}, "", true, fmt.Errorf("parse worker response: %w", err)
+		return api.Envelope{}, "", true, fmt.Errorf("parse worker response: %w", err)
 	}
 	return env, resp.Header.Get("X-Cache"), false, nil
 }

@@ -290,7 +290,7 @@ func TestDuplicateCompletionDeduped(t *testing.T) {
 
 	coord := newCoordinator(t, urls, Options{})
 	var events []JobEvent
-	env, err := coord.RunSweep(context.Background(), KindRun, serve.JobRequest{
+	env, err := coord.RunSweep(context.Background(), "run", serve.JobRequest{
 		Workloads: []string{"sc"}, Warmup: &warmup, Window: &window,
 	}, func(ev JobEvent) { events = append(events, ev) })
 	if err != nil {
@@ -333,7 +333,7 @@ func TestDuplicateCompletionDeduped(t *testing.T) {
 	}
 }
 
-// TestRunBatchMatchesSingleRuns: a KindRun batch's report is exactly
+// TestRunBatchMatchesSingleRuns: a run-kind batch's report is exactly
 // the ordered list of single-node /v1/run envelopes.
 func TestRunBatchMatchesSingleRuns(t *testing.T) {
 	_, single := newWorker(t, serve.Options{})
@@ -342,7 +342,7 @@ func TestRunBatchMatchesSingleRuns(t *testing.T) {
 
 	warmup, window := int64(200), int64(500)
 	names := []string{"sc", "kmeans"}
-	env, err := coord.RunSweep(context.Background(), KindRun, serve.JobRequest{
+	env, err := coord.RunSweep(context.Background(), "run", serve.JobRequest{
 		Workloads: names, Warmup: &warmup, Window: &window,
 	}, nil)
 	if err != nil {
@@ -384,7 +384,7 @@ func TestCacheLocalityRepeatSweep(t *testing.T) {
 	req := serve.JobRequest{Workloads: []string{"sc", "cfd", "nn", "kmeans"}, Warmup: &warmup, Window: &window}
 
 	first := map[int]string{}
-	_, err := coord.RunSweep(context.Background(), KindBottleneck, req, func(ev JobEvent) {
+	_, err := coord.RunSweep(context.Background(), "bottleneck", req, func(ev JobEvent) {
 		first[ev.Index] = ev.Worker
 	})
 	if err != nil {
@@ -397,7 +397,7 @@ func TestCacheLocalityRepeatSweep(t *testing.T) {
 
 	var mu sync.Mutex
 	second := map[int]JobEvent{}
-	_, err = coord.RunSweep(context.Background(), KindBottleneck, req, func(ev JobEvent) {
+	_, err = coord.RunSweep(context.Background(), "bottleneck", req, func(ev JobEvent) {
 		mu.Lock()
 		second[ev.Index] = ev
 		mu.Unlock()
@@ -432,7 +432,7 @@ func TestConfigDriftDetected(t *testing.T) {
 	coord := newCoordinator(t, []string{url}, Options{MaxAttempts: 1})
 
 	warmup, window := int64(200), int64(500)
-	_, err := coord.RunSweep(context.Background(), KindRun, serve.JobRequest{
+	_, err := coord.RunSweep(context.Background(), "run", serve.JobRequest{
 		Workloads: []string{"sc"}, Warmup: &warmup, Window: &window,
 	}, nil)
 	if err == nil || !strings.Contains(err.Error(), "base config differs") {
@@ -490,7 +490,7 @@ func TestHealthAndWorkers(t *testing.T) {
 	}
 
 	warmup, window := int64(200), int64(500)
-	if _, err := coord.RunSweep(context.Background(), KindRun, serve.JobRequest{
+	if _, err := coord.RunSweep(context.Background(), "run", serve.JobRequest{
 		Workloads: []string{"sc"}, Warmup: &warmup, Window: &window,
 	}, nil); err != nil {
 		t.Fatal(err)
@@ -515,7 +515,7 @@ func TestHealthAndWorkers(t *testing.T) {
 	if jobs != 1 {
 		t.Errorf("fleet served %d jobs, want 1: %+v", jobs, status.Workers)
 	}
-	if failures == 0 && status.Workers[0].Jobs != 1 {
+	if failures == 0 && status.Workers[1].Jobs != 1 {
 		// Rendezvous may have routed straight to the live worker; only
 		// when the dead one ranked first must a failure be recorded.
 		t.Errorf("dead worker ranked first but no failure recorded: %+v", status.Workers)

@@ -6,14 +6,15 @@ import (
 	"net/http"
 	"strings"
 
-	"repro/internal/serve"
+	"repro/internal/api"
+	"repro/internal/resultcache"
 )
 
 // Handler returns the coordinator's HTTP API:
 //
-//	GET  /healthz            liveness and fleet size
+//	GET  /healthz            liveness, API/code version and fleet size
 //	GET  /v1/workers         per-worker routing state (jobs, failures, cooldown)
-//	POST /v1/sweep/{kind}    run a sweep (kind: bottleneck | scenarios | run);
+//	POST /v1/sweep/{kind}    run any registered sweep kind (api.Kinds);
 //	                         body is the same JobRequest the workers accept
 //
 // A sweep responds with the merged envelope as one JSON document —
@@ -30,33 +31,38 @@ func (c *Coordinator) Handler() http.Handler {
 	return mux
 }
 
-// handleHealth reports coordinator liveness and the configured fleet
-// size.
+// handleHealth reports coordinator liveness, the API and result-cache
+// code versions (so operators can detect mixed-version fleets before
+// a mid-sweep "base config differs" failure), and the configured
+// fleet size.
 func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "workers": len(c.workers)})
+	api.WriteJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"api":         api.Version,
+		"codeversion": resultcache.CodeVersion,
+		"workers":     len(c.workers),
+	})
 }
 
 // handleWorkers reports the fleet's routing state.
 func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"workers": c.Workers()})
+	api.WriteJSON(w, http.StatusOK, map[string]any{"workers": c.Workers()})
 }
 
 // handleSweep runs one sweep, streaming progress when the client asks
 // for SSE and answering with the single merged document otherwise.
+// The kind is validated against the registry up front — rejecting
+// before the SSE path commits its 200 keeps unknown kinds a status
+// code, not a mid-stream error event.
 func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	kind := r.PathValue("kind")
-	switch kind {
-	case KindBottleneck, KindScenarios, KindRun:
-	default:
-		// Rejecting before the SSE path commits its 200 keeps unknown
-		// kinds a status code, not a mid-stream error event.
-		httpError(w, http.StatusBadRequest, fmt.Errorf("unknown sweep kind %q (want %s, %s or %s)",
-			kind, KindBottleneck, KindScenarios, KindRun))
+	if _, err := api.KindByName(kind); err != nil {
+		api.Error(w, http.StatusBadRequest, err)
 		return
 	}
-	req, err := serve.DecodeJobRequest(r)
+	req, err := api.DecodeJobRequest(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		api.Error(w, http.StatusBadRequest, err)
 		return
 	}
 	flusher, canFlush := w.(http.Flusher)
@@ -66,16 +72,16 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	env, err := c.RunSweep(r.Context(), kind, req, nil)
 	if err != nil {
-		httpError(w, errStatus(err), err)
+		api.Error(w, errStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, env)
+	api.WriteJSON(w, http.StatusOK, env)
 }
 
 // streamSweep is the SSE form of handleSweep. The 200 header commits
 // before the sweep's outcome is known — SSE's usual bargain — so a
 // late failure arrives as an "error" event rather than a status code.
-func (c *Coordinator) streamSweep(w http.ResponseWriter, r *http.Request, flusher http.Flusher, kind string, req serve.JobRequest) {
+func (c *Coordinator) streamSweep(w http.ResponseWriter, r *http.Request, flusher http.Flusher, kind string, req api.JobRequest) {
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-cache")
@@ -102,23 +108,4 @@ func writeEvent(w http.ResponseWriter, event string, v any) {
 		data = []byte(fmt.Sprintf("%q", err.Error()))
 	}
 	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
-}
-
-// writeJSON writes a JSON response body with a trailing newline —
-// the same framing the workers use, which keeps a coordinator sweep
-// response byte-identical to a single node's.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	data, err := json.Marshal(v)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	w.Write(append(data, '\n'))
-}
-
-// httpError writes a JSON error document.
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

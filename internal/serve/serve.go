@@ -1,7 +1,7 @@
 // Package serve exposes the experiment engine as a long-running
 // HTTP/JSON service — profiling as a service instead of a one-shot
 // CLI. Clients submit a workload (built-in name or inline JSON spec)
-// or a named sweep, and receive the serialized measurement.
+// or a registered sweep kind, and receive the serialized measurement.
 //
 // Three properties make the service safe to put in front of heavy
 // traffic:
@@ -22,13 +22,18 @@
 //
 // Endpoints:
 //
-//	GET  /healthz               liveness + queue occupancy
-//	GET  /v1/workloads          built-in benchmark and scenario names
-//	GET  /v1/stats              cache, queue and fleet counters
-//	GET  /v1/cache/{key}        peer fetch: stored bytes for a key, 404 on miss
-//	POST /v1/run                one measurement (name or inline spec)
-//	POST /v1/sweep/bottleneck   exp.RunBottleneckBreakdown over names
-//	POST /v1/sweep/scenarios    exp.RunScenarioSweep over scenarios
+//	GET  /healthz            liveness + API/code version + queue occupancy
+//	GET  /v1/workloads       built-in benchmark and scenario names
+//	GET  /v1/stats           cache, queue and fleet counters
+//	GET  /v1/cache/{key}     peer fetch: stored bytes for a key, 404 on miss
+//	POST /v1/run             one measurement (name or inline spec)
+//	POST /v1/sweep/{kind}    any registered sweep kind (api.Kinds)
+//	POST /v1/advise          alias for /v1/sweep/advise
+//
+// The sweep endpoints are not per-kind handlers: one generic handler
+// walks the internal/api sweep-kind registry, so a kind registered
+// there (bottleneck, scenarios, advise, run, ...) is served here, by
+// the fabric coordinator, and by the CLIs without further wiring.
 //
 // Responses carry an X-Cache: hit|miss|peer header; the JSON body of
 // a hit is byte-identical to the body the original miss returned.
@@ -57,9 +62,11 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/config"
 	"repro/internal/exp"
 	"repro/internal/resultcache"
+	"repro/internal/runner"
 	"repro/internal/workload"
 )
 
@@ -96,6 +103,16 @@ type Options struct {
 	// have saved.
 	PeerTimeout time.Duration
 }
+
+// JobRequest is the request document shared by every job endpoint; it
+// is defined in internal/api (the shared HTTP surface) and aliased
+// here for callers of the serving layer.
+type JobRequest = api.JobRequest
+
+// Envelope is the deterministic response body of every job endpoint,
+// defined in internal/api and aliased here for callers of the serving
+// layer.
+type Envelope = api.Envelope
 
 // Server is the experiment service. Build with New, mount Handler,
 // stop with Drain.
@@ -182,8 +199,8 @@ func New(o Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
 	s.mux.HandleFunc("POST /v1/run", s.handleRun)
-	s.mux.HandleFunc("POST /v1/sweep/bottleneck", s.handleSweepBottleneck)
-	s.mux.HandleFunc("POST /v1/sweep/scenarios", s.handleSweepScenarios)
+	s.mux.HandleFunc("POST /v1/sweep/{kind}", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/advise", s.handleAdvise)
 	return s, nil
 }
 
@@ -304,131 +321,64 @@ func validateEntry(key string, val []byte) error {
 	return nil
 }
 
-// JobRequest is the shared request shape of every job-submitting
-// endpoint — /v1/run, the /v1/sweep/* family, and the coordinator's
-// fabric endpoints, which accept exactly the same body. Field
-// semantics match the gpusim flags of the same names.
-type JobRequest struct {
-	// Workload is a built-in benchmark or scenario name; Spec is an
-	// inline JSON workload spec (exactly one of the two for /v1/run).
-	Workload string          `json:"workload,omitempty"`
-	Spec     json.RawMessage `json:"spec,omitempty"`
-	// Workloads scopes the sweep endpoints (default: the sweep's
-	// standard set).
-	Workloads []string `json:"workloads,omitempty"`
-
-	// Seed overrides the base config's RNG seed; Scale applies a
-	// Table I scaling set; FixedLatency (>= 0) swaps the hierarchy
-	// for a fixed-latency backend with that many cycles.
-	Seed         *uint64 `json:"seed,omitempty"`
-	Scale        string  `json:"scale,omitempty"`
-	FixedLatency *int64  `json:"fixed_latency,omitempty"`
-	// Warmup and Window override the default measurement methodology.
-	Warmup *int64 `json:"warmup_cycles,omitempty"`
-	Window *int64 `json:"window_cycles,omitempty"`
-	// Parallelism asks for sweep workers; it is capped by the server's
-	// MaxParallelism and deliberately not part of the cache key
-	// (results are bit-identical at any worker count).
-	Parallelism int `json:"parallelism,omitempty"`
-}
-
-// ResolveMethodology resolves a request's config transforms and run
-// parameters against a base config and the serving layer's caps. It
-// is the one definition of "what simulation does this request
-// describe": the single-node server and the fabric coordinator both
-// call it, which is what makes their cache keys — and therefore their
-// bytes — agree.
-func ResolveMethodology(base config.Config, req JobRequest, maxParallel int, maxWindow int64) (config.Config, exp.RunParams, error) {
-	cfg := base
-	if req.Scale != "" {
-		set, err := config.ParseScalingSet(req.Scale)
-		if err != nil {
-			return config.Config{}, exp.RunParams{}, err
-		}
-		cfg = set.Apply(cfg)
-	}
-	if req.Seed != nil {
-		cfg.Seed = *req.Seed
-	}
-	if req.FixedLatency != nil && *req.FixedLatency >= 0 {
-		cfg.FixedLatency = config.FixedLatencyConfig{Enabled: true, Cycles: *req.FixedLatency}
-	}
-	p := exp.DefaultRunParams()
-	if req.Warmup != nil {
-		p.WarmupCycles = *req.Warmup
-	}
-	if req.Window != nil {
-		p.WindowCycles = *req.Window
-	}
-	if p.WarmupCycles < 0 || p.WindowCycles <= 0 {
-		return config.Config{}, exp.RunParams{}, fmt.Errorf("warmup must be >= 0 and window > 0")
-	}
-	if total := p.WarmupCycles + p.WindowCycles; total > maxWindow {
-		return config.Config{}, exp.RunParams{}, fmt.Errorf("warmup+window %d exceeds the server cap %d", total, maxWindow)
-	}
-	p.Parallelism = req.Parallelism
-	if p.Parallelism <= 0 || p.Parallelism > maxParallel {
-		p.Parallelism = maxParallel
-	}
-	return cfg, p, nil
-}
-
 // methodology resolves the request against this server's base and
 // caps.
 func (s *Server) methodology(req JobRequest) (config.Config, exp.RunParams, error) {
-	return ResolveMethodology(s.base, req, s.maxParallel, s.maxWindow)
+	return api.ResolveMethodology(s.base, req, s.maxParallel, s.maxWindow)
 }
 
 // handleRun measures one workload, serving cached bytes when the job
 // has run before.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	req, err := DecodeJobRequest(r)
+	req, err := api.DecodeJobRequest(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		api.Error(w, http.StatusBadRequest, err)
 		return
 	}
 	if len(req.Workloads) > 0 {
 		// The list form belongs to the sweep endpoints; dropping it
 		// silently would run something other than what was asked for.
-		httpError(w, http.StatusBadRequest, fmt.Errorf("/v1/run takes one workload (or spec); a workloads list goes to /v1/sweep/*"))
+		api.Error(w, http.StatusBadRequest,
+			fmt.Errorf("/v1/run takes one workload (or spec); a workloads list goes to /v1/sweep/{%s}",
+				strings.Join(api.KindNames(), "|")))
 		return
 	}
 	var spec workload.Spec
 	switch {
 	case req.Workload != "" && len(req.Spec) > 0:
-		httpError(w, http.StatusBadRequest, fmt.Errorf("workload and spec are mutually exclusive"))
+		api.Error(w, http.StatusBadRequest, fmt.Errorf("workload and spec are mutually exclusive"))
 		return
 	case req.Workload != "":
 		sp, err := workload.SpecByName(req.Workload)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			api.Error(w, http.StatusBadRequest, err)
 			return
 		}
 		spec = sp
 	case len(req.Spec) > 0:
 		sp, err := workload.ParseSpec(req.Spec)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			api.Error(w, http.StatusBadRequest, err)
 			return
 		}
 		spec = sp
 	default:
-		httpError(w, http.StatusBadRequest, fmt.Errorf("request needs a workload name or an inline spec"))
+		api.Error(w, http.StatusBadRequest, fmt.Errorf("request needs a workload name or an inline spec"))
 		return
 	}
 	cfg, p, err := s.methodology(req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		api.Error(w, http.StatusBadRequest, err)
 		return
 	}
 	if spec.Warps > cfg.Core.MaxWarpsPerSM {
-		httpError(w, http.StatusBadRequest,
+		api.Error(w, http.StatusBadRequest,
 			fmt.Errorf("workload %s wants %d warps/SM, config allows %d", spec.SpecName, spec.Warps, cfg.Core.MaxWarpsPerSM))
 		return
 	}
 	key, err := resultcache.JobKey(cfg, spec, p.WarmupCycles, p.WindowCycles)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		api.Error(w, http.StatusBadRequest, err)
 		return
 	}
 	source := sourceMiss
@@ -446,7 +396,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		})
 	})
 	if err != nil {
-		httpError(w, errStatus(err), err)
+		api.Error(w, errStatus(err), err)
 		return
 	}
 	if hit {
@@ -459,64 +409,64 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleSweepBottleneck runs the stall-attribution sweep over the
-// requested (or default) workloads.
-func (s *Server) handleSweepBottleneck(w http.ResponseWriter, r *http.Request) {
-	s.handleSweep(w, r, "bottleneck", defaultBottleneckNames,
-		func(cfg config.Config, specs []workload.Spec, p exp.RunParams) (any, error) {
-			wls := make([]workload.Workload, len(specs))
-			for i, sp := range specs {
-				wls[i] = sp
-			}
-			return exp.RunBottleneckBreakdown(cfg, wls, p)
-		})
+// handleSweep serves POST /v1/sweep/{kind} for every registered sweep
+// kind — there is deliberately no per-kind handler or switch here;
+// the registry entry is the whole definition.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.sweep(w, r, r.PathValue("kind"))
 }
 
-// handleSweepScenarios runs the phase-structure sweep over the
-// requested (or all) multi-phase scenarios.
-func (s *Server) handleSweepScenarios(w http.ResponseWriter, r *http.Request) {
-	s.handleSweep(w, r, "scenarios", defaultScenarioNames,
-		func(cfg config.Config, specs []workload.Spec, p exp.RunParams) (any, error) {
-			return exp.RunScenarioSweep(cfg, specs, p)
-		})
+// handleAdvise is the documented alias POST /v1/advise for
+// /v1/sweep/advise — the advisor is the endpoint operators reach for
+// by name.
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	s.sweep(w, r, "advise")
 }
 
-// handleSweep is the shared sweep skeleton: resolve names to specs,
-// content-address the sweep, compute under admission control, serve
-// the stored report bytes.
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request, kind string,
-	defaults func() []string,
-	run func(config.Config, []workload.Spec, exp.RunParams) (any, error)) {
-	req, err := DecodeJobRequest(r)
+// sweep is the one sweep skeleton: look the kind up in the registry,
+// resolve names to specs, content-address the sweep, expand and run
+// the kind's grid under admission control, merge with the kind's pure
+// report half, and serve the stored report bytes.
+func (s *Server) sweep(w http.ResponseWriter, r *http.Request, kindName string) {
+	k, err := api.KindByName(kindName)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		api.Error(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := api.DecodeJobRequest(r)
+	if err != nil {
+		api.Error(w, http.StatusBadRequest, err)
 		return
 	}
 	if req.Workload != "" || len(req.Spec) > 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("sweeps take a workloads list, not workload/spec"))
+		api.Error(w, http.StatusBadRequest, fmt.Errorf("sweeps take a workloads list, not workload/spec"))
 		return
 	}
 	names := req.Workloads
 	if len(names) == 0 {
-		names = defaults()
+		if k.Defaults == nil {
+			api.Error(w, http.StatusBadRequest, fmt.Errorf("a %s batch needs an explicit workloads list", k.Name))
+			return
+		}
+		names = k.Defaults()
 	}
 	specs := make([]workload.Spec, len(names))
 	for i, n := range names {
 		sp, err := workload.SpecByName(n)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			api.Error(w, http.StatusBadRequest, err)
 			return
 		}
 		specs[i] = sp
 	}
 	cfg, p, err := s.methodology(req)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		api.Error(w, http.StatusBadRequest, err)
 		return
 	}
-	key, err := resultcache.SweepKey(kind, cfg, specs, p.WarmupCycles, p.WindowCycles)
+	key, err := resultcache.SweepKey(k.Name, cfg, specs, p.WarmupCycles, p.WindowCycles)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		api.Error(w, http.StatusBadRequest, err)
 		return
 	}
 	source := sourceMiss
@@ -526,62 +476,58 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request, kind string
 			return val, nil
 		}
 		return s.runJob(r.Context(), func() ([]byte, error) {
-			rep, err := run(cfg, specs, p)
-			if err != nil {
-				return nil, err
-			}
-			return json.Marshal(rep)
+			return s.computeSweep(k, cfg, specs, p)
 		})
 	})
 	if err != nil {
-		httpError(w, errStatus(err), err)
+		api.Error(w, errStatus(err), err)
 		return
 	}
 	if hit {
 		source = sourceHit
 	}
 	writeEnvelope(w, source, Envelope{
-		Key: key, Kind: "sweep-" + kind, Workloads: names,
+		Key: key, Kind: k.ResponseKind, Workloads: names,
 		WarmupCycles: p.WarmupCycles, WindowCycles: p.WindowCycles,
 		Report: val,
 	})
 }
 
-// SweepDefaults returns the default workload scope of the named sweep
-// kind ("bottleneck" or "scenarios") — the set a request with an
-// empty workloads list gets. The fabric coordinator resolves defaults
-// through this same function so a defaulted fleet sweep and a
-// defaulted single-node sweep describe identical grids.
-func SweepDefaults(kind string) ([]string, error) {
-	switch kind {
-	case "bottleneck":
-		return defaultBottleneckNames(), nil
-	case "scenarios":
-		return defaultScenarioNames(), nil
-	default:
-		return nil, fmt.Errorf("serve: unknown sweep kind %q", kind)
+// computeSweep executes a sweep kind locally: expand the grid, run it
+// as one batch on the worker pool (per-job configs — the advise grid
+// varies the architecture), and hand the ordered results to the
+// kind's pure merge half. The fabric coordinator runs the same Grid
+// and Report against fleet-collected results, which is what makes a
+// fleet-merged report byte-identical to this one.
+func (s *Server) computeSweep(k api.Kind, cfg config.Config, specs []workload.Spec, p exp.RunParams) ([]byte, error) {
+	grid, err := k.Grid(cfg, specs)
+	if err != nil {
+		return nil, err
 	}
-}
-
-// defaultBottleneckNames mirrors exp.DefaultBottleneckWorkloads as
-// names.
-func defaultBottleneckNames() []string {
-	wls := exp.DefaultBottleneckWorkloads()
-	names := make([]string, len(wls))
-	for i, wl := range wls {
-		names[i] = wl.Name()
+	jobs := make([]runner.Job, len(grid))
+	for i, g := range grid {
+		jobs[i] = runner.Job{
+			Config: g.Config, Workload: g.Spec,
+			WarmupCycles: p.WarmupCycles, WindowCycles: p.WindowCycles,
+		}
 	}
-	return names
-}
-
-// defaultScenarioNames lists the built-in multi-phase scenarios.
-func defaultScenarioNames() []string {
-	ss := workload.Scenarios()
-	names := make([]string, len(ss))
-	for i, sp := range ss {
-		names[i] = sp.SpecName
+	results, err := runner.Run(context.Background(), jobs, runner.Options{Parallelism: p.Parallelism})
+	if err != nil {
+		return nil, err
 	}
-	return names
+	res := make([]api.GridResult, len(grid))
+	for i, g := range grid {
+		jobKey, err := resultcache.JobKey(g.Config, g.Spec, p.WarmupCycles, p.WindowCycles)
+		if err != nil {
+			return nil, err
+		}
+		enc, err := exp.EncodeResults(results[i])
+		if err != nil {
+			return nil, err
+		}
+		res[i] = api.GridResult{Key: jobKey, Encoded: enc, Results: results[i]}
+	}
+	return k.Report(cfg, specs, p, grid, res)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -592,10 +538,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	waiting := s.waiting
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  status,
-		"active":  len(s.sem),
-		"waiting": waiting,
+	api.WriteJSON(w, http.StatusOK, map[string]any{
+		"status":      status,
+		"api":         api.Version,
+		"codeversion": resultcache.CodeVersion,
+		"active":      len(s.sem),
+		"waiting":     waiting,
 	})
 }
 
@@ -605,9 +553,14 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	for i, wl := range suite {
 		benches[i] = wl.Name()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	ss := workload.Scenarios()
+	scenarios := make([]string, len(ss))
+	for i, sp := range ss {
+		scenarios[i] = sp.SpecName
+	}
+	api.WriteJSON(w, http.StatusOK, map[string]any{
 		"benchmarks": benches,
-		"scenarios":  defaultScenarioNames(),
+		"scenarios":  scenarios,
 	})
 }
 
@@ -618,7 +571,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	peerHits := s.peerHits
 	peerMisses := s.peerMisses
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	api.WriteJSON(w, http.StatusOK, map[string]any{
 		"cache": s.cache.Stats(),
 		"queue": map[string]any{
 			"active":      len(s.sem),
@@ -643,12 +596,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
 	if !resultcache.ValidKey(key) {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("malformed cache key"))
+		api.Error(w, http.StatusBadRequest, fmt.Errorf("malformed cache key"))
 		return
 	}
 	val, ok := s.cache.Get(key)
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("key not cached here"))
+		api.Error(w, http.StatusNotFound, fmt.Errorf("key not cached here"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -698,31 +651,6 @@ func (s *Server) peerFetch(ctx context.Context, key string) ([]byte, bool) {
 // kilobytes, so anything near this is a broken or hostile peer.
 const maxPeerEntryBytes = 16 << 20
 
-// Envelope is the deterministic response body of every job endpoint:
-// cached payload bytes wrapped in the (equally deterministic) job
-// description, so a hit's body is byte-identical to the original
-// miss's. The fabric coordinator emits the same shape, which is what
-// lets a fleet-merged sweep response be compared byte-for-byte
-// against a single node's.
-type Envelope struct {
-	// Key is the content address the payload is cached under.
-	Key string `json:"key"`
-	// Kind names the payload: "measure", "sweep-<kind>" or the
-	// coordinator's "run-batch".
-	Kind string `json:"kind"`
-	// Workload names a single measurement's subject; Workloads a
-	// sweep's scope.
-	Workload  string   `json:"workload,omitempty"`
-	Workloads []string `json:"workloads,omitempty"`
-	// WarmupCycles and WindowCycles echo the resolved methodology.
-	WarmupCycles int64 `json:"warmup_cycles"`
-	WindowCycles int64 `json:"window_cycles"`
-	// Results holds exp.EncodeResults bytes (kind "measure"); Report a
-	// marshaled sweep report (sweep kinds).
-	Results json.RawMessage `json:"results,omitempty"`
-	Report  json.RawMessage `json:"report,omitempty"`
-}
-
 // X-Cache header values: where the response payload came from.
 const (
 	sourceHit  = "hit"
@@ -732,25 +660,7 @@ const (
 
 func writeEnvelope(w http.ResponseWriter, source string, env Envelope) {
 	w.Header().Set("X-Cache", source)
-	writeJSON(w, http.StatusOK, env)
-}
-
-// DecodeJobRequest strictly parses the JSON request body of a job
-// endpoint: unknown fields and trailing data are rejected, like every
-// other parser in this codebase — a concatenated second request must
-// fail loudly, not be silently dropped. Shared with the fabric
-// coordinator so both layers accept exactly the same bodies.
-func DecodeJobRequest(r *http.Request) (JobRequest, error) {
-	var req JobRequest
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		return JobRequest{}, fmt.Errorf("parse request: %w", err)
-	}
-	if _, err := dec.Token(); err != io.EOF {
-		return JobRequest{}, fmt.Errorf("parse request: trailing data after the JSON body")
-	}
-	return req, nil
+	api.WriteJSON(w, http.StatusOK, env)
 }
 
 // errStatus maps job errors to HTTP codes: shed-load conditions are
@@ -763,24 +673,4 @@ func errStatus(err error) int {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
-}
-
-func httpError(w http.ResponseWriter, code int, err error) {
-	if code == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
-	}
-	writeJSON(w, code, map[string]string{"error": err.Error()})
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	data, err := json.Marshal(v)
-	if err != nil {
-		w.WriteHeader(http.StatusInternalServerError)
-		fmt.Fprintf(w, `{"error":%q}`, err.Error())
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	w.Write(data)
-	w.Write([]byte("\n"))
 }

@@ -6,7 +6,8 @@
 //	go run ./scripts/doclint [packages...]
 //
 // With no arguments it checks the repository's documented public
-// surface: gpgpumem.go and internal/{serve,resultcache,runner,fabric}.
+// surface: gpgpumem.go and
+// internal/{api,serve,resultcache,runner,fabric,exp}.
 // Each argument is a .go file or a package directory; _test.go files
 // are always skipped.
 //
@@ -34,10 +35,12 @@ import (
 // the service-layer packages.
 var defaultTargets = []string{
 	"gpgpumem.go",
+	"internal/api",
 	"internal/serve",
 	"internal/resultcache",
 	"internal/runner",
 	"internal/fabric",
+	"internal/exp",
 }
 
 func main() {
