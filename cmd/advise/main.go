@@ -14,8 +14,12 @@
 //
 // Usage:
 //
-//	advise [-workloads bfs,sc] [-j N]
+//	advise [-workloads bfs,sc] [-j N] [-policies]
 //	       [-warmup 6000] [-window 20000] [-seed 1] [-csv] [-json]
+//
+// With -policies the candidate set is extended with the zero-silicon-
+// cost mitigation policies (issue throttling, L1 bypass, L2 pinning),
+// ranked alongside the hardware interventions.
 package main
 
 import (
@@ -30,13 +34,14 @@ import (
 
 func main() {
 	var (
-		wlNames = flag.String("workloads", "", "comma-separated workloads (default: the paper suite plus the multi-phase scenarios)")
-		jobs    = flag.Int("j", 0, "parallel simulations (0 = all cores)")
-		warmup  = flag.Int64("warmup", 6000, "warm-up cycles before measurement")
-		window  = flag.Int64("window", 20000, "measurement window in core cycles")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		csv     = flag.Bool("csv", false, "emit CSV instead of the table")
-		asJSON  = flag.Bool("json", false, "emit the report as compact JSON (the /v1/sweep/advise report payload)")
+		wlNames  = flag.String("workloads", "", "comma-separated workloads (default: the paper suite plus the multi-phase scenarios)")
+		jobs     = flag.Int("j", 0, "parallel simulations (0 = all cores)")
+		warmup   = flag.Int64("warmup", 6000, "warm-up cycles before measurement")
+		window   = flag.Int64("window", 20000, "measurement window in core cycles")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of the table")
+		asJSON   = flag.Bool("json", false, "emit the report as compact JSON (the /v1/sweep/advise report payload)")
+		policies = flag.Bool("policies", false, "also rank the mitigation policies (zero-silicon-cost interventions)")
 	)
 	flag.Parse()
 
@@ -57,7 +62,11 @@ func main() {
 	}
 
 	p := gpgpumem.RunParams{WarmupCycles: *warmup, WindowCycles: *window, Parallelism: *jobs}
-	rep, err := gpgpumem.RunAdvise(cfg, specs, p)
+	perts := gpgpumem.Perturbations()
+	if *policies {
+		perts = append(perts, gpgpumem.PolicyPerturbations()...)
+	}
+	rep, err := gpgpumem.RunAdviseWith(cfg, specs, perts, p)
 	if err != nil {
 		fatal(err)
 	}

@@ -14,10 +14,11 @@
 //
 //	bottleneck [-workloads sc,cfd,kmeans] [-j N]
 //	           [-scale baseline|l1|l2|dram|l1l2|l2dram|all]
-//	           [-warmup 6000] [-window 20000] [-seed 1] [-csv]
+//	           [-warmup 6000] [-window 20000] [-seed 1] [-csv] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,7 @@ func main() {
 		window  = flag.Int64("window", 20000, "measurement window in core cycles")
 		seed    = flag.Uint64("seed", 1, "simulation seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of the table")
+		asJSON  = flag.Bool("json", false, "emit the report as compact JSON (the /v1/sweep/bottleneck report payload)")
 	)
 	flag.Parse()
 
@@ -63,11 +65,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *csv {
+	switch {
+	case *asJSON:
+		data, err := json.Marshal(rep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	case *csv:
 		fmt.Print(rep.CSV())
-		return
+	default:
+		fmt.Print(rep.String())
 	}
-	fmt.Print(rep.String())
 }
 
 func fatal(err error) {

@@ -1,0 +1,79 @@
+// Command mitigate measures the mitigation policies instead of citing
+// them: for each workload it runs the baseline plus every registered
+// policy intervention (see Mitigations in the library docs) — MSHR-
+// aware issue throttling, L1 bypass of streaming fills, L2 hot-line
+// pinning, and all three combined — as one batch on the experiment
+// engine's worker pool, then ranks the policies by IPC recovered and
+// reports where each one moved cycles in the stall breakdown.
+//
+// By default it sweeps the multi-phase scenarios; the report is
+// byte-identical at any parallelism, and identical to what the
+// daemons' /v1/sweep/mitigation endpoint reports for the same request.
+//
+// Usage:
+//
+//	mitigate [-workloads kmeans,bfs] [-j N]
+//	         [-warmup 6000] [-window 20000] [-seed 1] [-csv] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	gpgpumem "repro"
+)
+
+func main() {
+	var (
+		wlNames = flag.String("workloads", "", "comma-separated workloads (default: the multi-phase scenarios)")
+		jobs    = flag.Int("j", 0, "parallel simulations (0 = all cores)")
+		warmup  = flag.Int64("warmup", 6000, "warm-up cycles before measurement")
+		window  = flag.Int64("window", 20000, "measurement window in core cycles")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		csv     = flag.Bool("csv", false, "emit CSV instead of the table")
+		asJSON  = flag.Bool("json", false, "emit the report as compact JSON (the /v1/sweep/mitigation report payload)")
+	)
+	flag.Parse()
+
+	cfg := gpgpumem.DefaultConfig()
+	cfg.Seed = *seed
+
+	var specs []gpgpumem.WorkloadSpec
+	if *wlNames == "" {
+		specs = gpgpumem.DefaultMitigationWorkloads()
+	} else {
+		for _, name := range strings.Split(*wlNames, ",") {
+			sp, err := gpgpumem.WorkloadSpecByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			specs = append(specs, sp)
+		}
+	}
+
+	p := gpgpumem.RunParams{WarmupCycles: *warmup, WindowCycles: *window, Parallelism: *jobs}
+	rep, err := gpgpumem.RunMitigationSweep(cfg, specs, p)
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *asJSON:
+		data, err := json.Marshal(rep)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	case *csv:
+		fmt.Print(rep.CSV())
+	default:
+		fmt.Print(rep.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mitigate:", err)
+	os.Exit(1)
+}

@@ -7,10 +7,11 @@
 //
 // Usage:
 //
-//	scenariosweep [-j N] [-warmup 6000] [-window 20000] [-seed 1] [-csv]
+//	scenariosweep [-j N] [-warmup 6000] [-window 20000] [-seed 1] [-csv] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ func main() {
 		window = flag.Int64("window", 20000, "measurement window in core cycles")
 		seed   = flag.Uint64("seed", 1, "simulation seed")
 		csv    = flag.Bool("csv", false, "emit CSV instead of the table")
+		asJSON = flag.Bool("json", false, "emit the report as compact JSON (the /v1/sweep/scenarios report payload)")
 	)
 	flag.Parse()
 
@@ -36,9 +38,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scenariosweep:", err)
 		os.Exit(1)
 	}
-	if *csv {
+	switch {
+	case *asJSON:
+		data, err := json.Marshal(rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scenariosweep:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+	case *csv:
 		fmt.Print(rep.CSV())
-		return
+	default:
+		fmt.Print(rep.String())
 	}
-	fmt.Print(rep.String())
 }

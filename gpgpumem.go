@@ -37,6 +37,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/exp"
 	"repro/internal/fabric"
+	"repro/internal/policy"
 	"repro/internal/resultcache"
 	"repro/internal/runner"
 	"repro/internal/serve"
@@ -399,6 +400,67 @@ func WorkloadSpecByName(name string) (WorkloadSpec, error) { return workload.Spe
 func RunAdvise(base Config, specs []WorkloadSpec, p RunParams) (AdviseReport, error) {
 	return exp.RunAdvise(base, specs, p)
 }
+
+// PolicyPerturbations returns the internal/policy mitigation policies
+// as advisor interventions — zero-silicon-cost knobs ranked alongside
+// the hardware ones. Append them to Perturbations() and call
+// RunAdviseWith (cmd/advise -policies does exactly that); the
+// registered "advise" sweep kind is unchanged.
+func PolicyPerturbations() []Perturbation { return exp.PolicyPerturbations() }
+
+// RunAdviseWith is RunAdvise over an explicit perturbation set, for
+// callers extending the advisor's candidate list.
+func RunAdviseWith(base Config, specs []WorkloadSpec, perts []Perturbation, p RunParams) (AdviseReport, error) {
+	return exp.RunAdviseWith(base, specs, perts, p)
+}
+
+// Mitigation is one opt-in policy intervention of the mitigation
+// sweep: a named, zero-silicon-cost config transform enabling one or
+// more of the internal/policy seams.
+type Mitigation = exp.Mitigation
+
+// Mitigations returns the mitigation sweep's candidate policies in
+// grid order: issue throttling, L1 bypass, L2 pinning, and all three
+// combined.
+func Mitigations() []Mitigation { return exp.Mitigations() }
+
+// MitigationReport is the mitigation sweep's answer: per workload,
+// every policy ranked by IPC recovered, with the stall-share shift
+// each one caused.
+type MitigationReport = exp.MitigationReport
+
+// MitigationRow is one workload's ranked verdict in a
+// MitigationReport.
+type MitigationRow = exp.MitigationRow
+
+// MitigationOutcome is one measured policy within a MitigationRow.
+type MitigationOutcome = exp.MitigationOutcome
+
+// DefaultMitigationWorkloads returns the mitigation sweep's default
+// scope — the multi-phase scenarios — as specs.
+func DefaultMitigationWorkloads() []WorkloadSpec { return exp.DefaultMitigationWorkloads() }
+
+// RunMitigationSweep measures the mitigation grid — baseline plus
+// every Mitigations() policy per workload, one batch on the worker
+// pool — and reports IPC recovered and where each policy moved cycles
+// in the stall breakdown. The engine behind cmd/mitigate and the
+// "mitigation" sweep kind; the report is bit-identical at any
+// parallelism.
+func RunMitigationSweep(base Config, specs []WorkloadSpec, p RunParams) (MitigationReport, error) {
+	return exp.RunMitigationSweep(base, specs, p)
+}
+
+// IssuePolicyNames lists the registered warp-issue policies — the
+// valid Config.Policy.Issue values.
+func IssuePolicyNames() []string { return policy.IssueNames() }
+
+// FillPolicyNames lists the registered L1 fill policies — the valid
+// Config.Policy.L1Fill values.
+func FillPolicyNames() []string { return policy.FillNames() }
+
+// L2PolicyNames lists the registered L2 insertion policies — the
+// valid Config.Policy.L2Insert values.
+func L2PolicyNames() []string { return policy.L2Names() }
 
 // SweepKindNames lists the registered sweep kinds — the valid {kind}
 // segments of the daemons' POST /v1/sweep/{kind} endpoints and of

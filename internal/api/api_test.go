@@ -30,7 +30,7 @@ func testSpecs(t *testing.T, names ...string) []workload.Spec {
 // entry is fully populated, names resolve, and the unknown-kind error
 // lists exactly the registered names.
 func TestKindRegistry(t *testing.T) {
-	wantNames := []string{"bottleneck", "scenarios", "advise", "run"}
+	wantNames := []string{"bottleneck", "scenarios", "advise", "mitigation", "run"}
 	names := KindNames()
 	if len(names) != len(wantNames) {
 		t.Fatalf("KindNames() = %v, want %v", names, wantNames)
@@ -68,6 +68,7 @@ func TestKindRegistry(t *testing.T) {
 func TestKindGrids(t *testing.T) {
 	cfg := config.GTX480Baseline()
 	stride := 1 + len(exp.Perturbations())
+	mitStride := 1 + len(exp.Mitigations())
 	cases := map[string]struct {
 		specs []string
 		want  int
@@ -75,6 +76,7 @@ func TestKindGrids(t *testing.T) {
 		"bottleneck": {[]string{"sc", "kmeans"}, 2},
 		"scenarios":  {[]string{"kmeans", "bfs"}, 4}, // scenario + flattened control each
 		"advise":     {[]string{"sc", "kmeans"}, 2 * stride},
+		"mitigation": {[]string{"sc", "kmeans"}, 2 * mitStride},
 		"run":        {[]string{"sc", "kmeans"}, 2},
 	}
 	for name, tc := range cases {

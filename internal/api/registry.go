@@ -152,6 +152,30 @@ func kinds() []Kind {
 			},
 		},
 		{
+			Name:         "mitigation",
+			ResponseKind: "sweep-mitigation",
+			Description:  "mitigation policies: scenario × policy grid of the internal/policy seams (exp.MitigationReport)",
+			Defaults:     scenarioNames,
+			Grid: func(cfg config.Config, specs []workload.Spec) ([]Job, error) {
+				mjs, err := exp.MitigationGrid(cfg, specs)
+				if err != nil {
+					return nil, err
+				}
+				grid := make([]Job, len(mjs))
+				for i, mj := range mjs {
+					grid[i] = Job{Config: mj.Config, Spec: mj.Spec}
+				}
+				return grid, nil
+			},
+			Report: func(cfg config.Config, specs []workload.Spec, p exp.RunParams, grid []Job, res []GridResult) (json.RawMessage, error) {
+				rep, err := exp.BuildMitigationReport(specs, p, decoded(res))
+				if err != nil {
+					return nil, err
+				}
+				return json.Marshal(rep)
+			},
+		},
+		{
 			Name:         "run",
 			ResponseKind: "run-batch",
 			Description:  "plain measurement batch: the ordered per-workload run envelopes",

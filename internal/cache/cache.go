@@ -51,6 +51,17 @@ type line struct {
 	fillTime int64 // FIFO timestamp (reservation time)
 }
 
+// VictimPolicy biases Reserve's victim selection (the L2
+// insertion/priority seam, see internal/policy): a Valid line whose
+// reuse count the policy protects is skipped while an unprotected
+// candidate exists. When every candidate is protected, selection falls
+// back to the unbiased replacement choice.
+type VictimPolicy interface {
+	// Protect reports whether a line that has served hits cache hits
+	// since its fill should be kept over an unprotected candidate.
+	Protect(hits int64) bool
+}
+
 // Config parameterizes a cache instance.
 type Config struct {
 	Sets        int
@@ -64,6 +75,9 @@ type Config struct {
 	WriteBack bool
 	// Seed drives the "random" replacement policy.
 	Seed uint64
+	// Victim, when non-nil, protects hot lines from eviction. Nil is
+	// the baseline: pure replacement-policy selection.
+	Victim VictimPolicy
 }
 
 // Stats counts cache events.
@@ -104,6 +118,10 @@ type Cache struct {
 	rng       *rand.Rand
 	stats     Stats
 	lineShift uint
+	// hits counts reuse per way (set-major), reset when the way is
+	// re-reserved. Allocated only with a VictimPolicy so the baseline
+	// footprint is untouched; nil means no counting.
+	hits []int64
 }
 
 // New builds a cache. Sets and LineSize must be powers of two.
@@ -127,7 +145,7 @@ func New(cfg Config) *Cache {
 	for i := range sets {
 		sets[i], backing = backing[:cfg.Ways:cfg.Ways], backing[cfg.Ways:]
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:       cfg,
 		sets:      sets,
 		setShift:  uint(bits.TrailingZeros(uint(cfg.LineSize))),
@@ -135,6 +153,10 @@ func New(cfg Config) *Cache {
 		lineShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
 		rng:       rand.New(rand.NewPCG(cfg.Seed, 0xcac4e)),
 	}
+	if cfg.Victim != nil {
+		c.hits = make([]int64, cfg.Sets*cfg.Ways)
+	}
+	return c
 }
 
 // Stats returns a copy of the event counters.
@@ -179,7 +201,8 @@ func (r AccessResult) String() string {
 // dirty; write accesses on a write-through cache never dirty lines.
 func (c *Cache) Lookup(addr uint64, isWrite bool, now int64) AccessResult {
 	c.stats.Accesses++
-	set := c.sets[c.SetIndex(addr)]
+	setIdx := c.SetIndex(addr)
+	set := c.sets[setIdx]
 	tag := c.tag(addr)
 	for i := range set {
 		ln := &set[i]
@@ -191,6 +214,9 @@ func (c *Cache) Lookup(addr uint64, isWrite bool, now int64) AccessResult {
 			return HitReserved
 		}
 		ln.lastUse = now
+		if c.hits != nil {
+			c.hits[setIdx*c.cfg.Ways+i]++
+		}
 		if isWrite && c.cfg.WriteBack {
 			ln.dirty = true
 		}
@@ -222,37 +248,14 @@ func (c *Cache) Reserve(addr uint64, now int64) (v Victim, evicted, ok bool) {
 	for i := range set {
 		if set[i].state == Invalid {
 			set[i] = line{tag: tag, state: Reserved, fillTime: now, lastUse: now}
+			if c.hits != nil {
+				c.hits[setIdx*c.cfg.Ways+i] = 0
+			}
 			return Victim{}, false, true
 		}
 	}
 	// Otherwise evict a Valid way.
-	victimIdx := -1
-	switch c.cfg.Replacement {
-	case "lru":
-		var oldest int64
-		for i := range set {
-			if set[i].state == Valid && (victimIdx == -1 || set[i].lastUse < oldest) {
-				victimIdx, oldest = i, set[i].lastUse
-			}
-		}
-	case "fifo":
-		var oldest int64
-		for i := range set {
-			if set[i].state == Valid && (victimIdx == -1 || set[i].fillTime < oldest) {
-				victimIdx, oldest = i, set[i].fillTime
-			}
-		}
-	case "random":
-		valid := make([]int, 0, len(set))
-		for i := range set {
-			if set[i].state == Valid {
-				valid = append(valid, i)
-			}
-		}
-		if len(valid) > 0 {
-			victimIdx = valid[c.rng.IntN(len(valid))]
-		}
-	}
+	victimIdx := c.pickVictim(setIdx, set)
 	if victimIdx == -1 {
 		// Every way is Reserved: reservation failure, caller stalls.
 		c.stats.ReservationFails++
@@ -264,7 +267,67 @@ func (c *Cache) Reserve(addr uint64, now int64) (v Victim, evicted, ok bool) {
 		c.stats.DirtyEvictions++
 	}
 	set[victimIdx] = line{tag: tag, state: Reserved, fillTime: now, lastUse: now}
+	if c.hits != nil {
+		c.hits[setIdx*c.cfg.Ways+victimIdx] = 0
+	}
 	return Victim{Addr: old.tag << c.setShift, Dirty: old.dirty}, true, true
+}
+
+// pickVictim chooses the Valid way to evict. With a VictimPolicy
+// configured, protected lines are skipped while an unprotected
+// candidate exists; if every Valid way is protected the choice falls
+// back to the unbiased one (the working set outgrew the pin budget).
+func (c *Cache) pickVictim(setIdx int, set []line) int {
+	if c.cfg.Victim != nil {
+		if idx := c.victimAmong(setIdx, set, true); idx != -1 {
+			return idx
+		}
+	}
+	return c.victimAmong(setIdx, set, false)
+}
+
+// victimAmong runs the replacement policy over the set's Valid ways;
+// with filtered true, ways whose reuse count the victim policy
+// protects are excluded from consideration.
+func (c *Cache) victimAmong(setIdx int, set []line, filtered bool) int {
+	protected := func(i int) bool {
+		return filtered && c.cfg.Victim.Protect(c.hits[setIdx*c.cfg.Ways+i])
+	}
+	victimIdx := -1
+	switch c.cfg.Replacement {
+	case "lru":
+		var oldest int64
+		for i := range set {
+			if set[i].state != Valid || protected(i) {
+				continue
+			}
+			if victimIdx == -1 || set[i].lastUse < oldest {
+				victimIdx, oldest = i, set[i].lastUse
+			}
+		}
+	case "fifo":
+		var oldest int64
+		for i := range set {
+			if set[i].state != Valid || protected(i) {
+				continue
+			}
+			if victimIdx == -1 || set[i].fillTime < oldest {
+				victimIdx, oldest = i, set[i].fillTime
+			}
+		}
+	case "random":
+		valid := make([]int, 0, len(set))
+		for i := range set {
+			if set[i].state != Valid || protected(i) {
+				continue
+			}
+			valid = append(valid, i)
+		}
+		if len(valid) > 0 {
+			victimIdx = valid[c.rng.IntN(len(valid))]
+		}
+	}
+	return victimIdx
 }
 
 // Fill completes an outstanding miss, transitioning the reserved line
@@ -347,7 +410,8 @@ func (c *Cache) Probe(addr uint64) AccessResult {
 // nothing, exactly like Probe; the caller runs its gates and then the
 // usual Lookup.
 func (c *Cache) ProbeAndConsumeHit(addr uint64, isWrite bool, now int64) AccessResult {
-	set := c.sets[c.SetIndex(addr)]
+	setIdx := c.SetIndex(addr)
+	set := c.sets[setIdx]
 	tag := c.tag(addr)
 	for i := range set {
 		ln := &set[i]
@@ -358,6 +422,9 @@ func (c *Cache) ProbeAndConsumeHit(addr uint64, isWrite bool, now int64) AccessR
 			return HitReserved
 		}
 		ln.lastUse = now
+		if c.hits != nil {
+			c.hits[setIdx*c.cfg.Ways+i]++
+		}
 		if isWrite && c.cfg.WriteBack {
 			ln.dirty = true
 		}

@@ -9,6 +9,8 @@ package config
 import (
 	"encoding/json"
 	"fmt"
+
+	"repro/internal/policy"
 )
 
 // Config is the complete architectural description of one simulation.
@@ -29,6 +31,29 @@ type Config struct {
 	// the L1 with an infinite-bandwidth responder that returns every
 	// L1 miss after exactly Cycles core cycles — the Fig. 1 apparatus.
 	FixedLatency FixedLatencyConfig `json:"fixed_latency"`
+
+	// Policy selects the pluggable mitigation policies (see
+	// internal/policy): the empty string on every field is the
+	// baseline, behaviorally identical to the pre-seam simulator.
+	Policy PolicyConfig `json:"policy"`
+}
+
+// PolicyConfig names the mitigation policy at each of the three
+// simulator seams. Names are strictly validated: an unknown name is
+// rejected by Validate with the registered list.
+type PolicyConfig struct {
+	// Issue overrides the warp scheduler seam: "" defers to
+	// Core.Scheduler; "gto", "lrr" or "throttle" (MSHR-aware
+	// memory-warp throttling) select a policy directly.
+	Issue string `json:"issue,omitempty"`
+	// L1Fill selects the L1 fill/bypass policy: "" or "always" is the
+	// baseline; "bypass-low-reuse" routes first-touch (streaming)
+	// fills around the L1.
+	L1Fill string `json:"l1_fill,omitempty"`
+	// L2Insert selects the L2 insertion/priority policy: "" or
+	// "plain" is the baseline; "pin-hot" protects lines with proven
+	// reuse from eviction.
+	L2Insert string `json:"l2_insert,omitempty"`
 }
 
 // FixedLatencyConfig configures the Fig. 1 latency-tolerance mode.
@@ -353,6 +378,9 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("config: unknown warp scheduler %q (want gto or lrr)", c.Core.Scheduler)
 	}
+	if err := c.Policy.validate(); err != nil {
+		return err
+	}
 	switch c.DRAM.Scheduler {
 	case "frfcfs", "fcfs":
 	default:
@@ -380,6 +408,29 @@ func (c Config) Validate() error {
 	}{{"cl", t.CL}, {"trcd", t.TRCD}, {"trp", t.TRP}, {"tras", t.TRAS}, {"tccd", t.TCCD}, {"twr", t.TWR}, {"trrd", t.TRRD}, {"tfaw", t.TFAW}, {"trefi", t.TREFI}, {"trfc", t.TRFC}} {
 		if tv.v <= 0 {
 			return fmt.Errorf("config: dram.timing.%s must be positive, got %d", tv.name, tv.v)
+		}
+	}
+	return nil
+}
+
+// validate strictly checks the policy names against the registries,
+// mirroring the api registry's unknown-kind error: unknown names are
+// rejected listing the registered ones. Empty fields (the baselines)
+// are always valid.
+func (p PolicyConfig) validate() error {
+	if p.Issue != "" {
+		if _, err := policy.NewIssuePolicy(p.Issue); err != nil {
+			return fmt.Errorf("config: policy.issue: %w", err)
+		}
+	}
+	if p.L1Fill != "" {
+		if _, err := policy.NewFillPolicy(p.L1Fill); err != nil {
+			return fmt.Errorf("config: policy.l1_fill: %w", err)
+		}
+	}
+	if p.L2Insert != "" {
+		if _, err := policy.NewL2Policy(p.L2Insert); err != nil {
+			return fmt.Errorf("config: policy.l2_insert: %w", err)
 		}
 	}
 	return nil

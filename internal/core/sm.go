@@ -3,11 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/mem"
+	"repro/internal/policy"
 	"repro/internal/queue"
 	"repro/internal/stats"
 )
@@ -169,6 +169,17 @@ type SM struct {
 	ready  uint64
 	memCur uint64
 
+	// issuePol and fillPol are the SM's resolved policy seams (see
+	// internal/policy): issuePol replaces the old hard-coded pickWarp,
+	// fillPol decides per primary miss whether the line allocates in
+	// the L1. mayBypass caches fillPol.MayBypass() so the baseline miss
+	// path skips the bypass bookkeeping entirely; mshrCap feeds the
+	// throttler's back-pressure ratio without a per-pick config read.
+	issuePol  policy.IssuePolicy
+	fillPol   policy.FillPolicy
+	mayBypass bool
+	mshrCap   int
+
 	l1      *cache.Cache
 	mshr    *cache.MSHR
 	ldstQ   *queue.Queue[tx]
@@ -214,19 +225,38 @@ func NewSM(id int, cfg config.Config, streams []InstrStream, backend Backend, ne
 	if len(streams) > 64 {
 		panic(fmt.Sprintf("core: ready-mask scheduler supports at most 64 warps per SM, got %d", len(streams)))
 	}
-	switch cfg.Core.Scheduler {
-	case "gto", "lrr":
-	default:
-		panic(fmt.Sprintf("core: unknown scheduler %q", cfg.Core.Scheduler))
+	// The issue seam defaults to the classic scheduler knob; a
+	// non-empty Policy.Issue (e.g. "throttle") overrides it. Unknown
+	// names panic here exactly like the old scheduler switch did —
+	// config.Validate rejects them long before a simulation is built.
+	issueName := cfg.Policy.Issue
+	if issueName == "" {
+		issueName = cfg.Core.Scheduler
+	}
+	issuePol, err := policy.NewIssuePolicy(issueName)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	fillName := cfg.Policy.L1Fill
+	if fillName == "" {
+		fillName = policy.FillAlways
+	}
+	fillPol, err := policy.NewFillPolicy(fillName)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
 	}
 	warps := make([]warp, len(streams))
 	for i, s := range streams {
 		warps[i] = warp{id: i, stream: s}
 	}
 	sm := &SM{
-		id:    id,
-		cfg:   cfg,
-		warps: warps,
+		id:        id,
+		cfg:       cfg,
+		warps:     warps,
+		issuePol:  issuePol,
+		fillPol:   fillPol,
+		mayBypass: fillPol.MayBypass(),
+		mshrCap:   cfg.L1.MSHREntries,
 		l1: cache.New(cache.Config{
 			Sets: cfg.L1.Sets, Ways: cfg.L1.Ways, LineSize: cfg.L1.LineSize,
 			Replacement: cfg.L1.Replacement, WriteBack: false,
@@ -371,7 +401,9 @@ func (s *SM) processResponses(cycle int64) {
 	}
 	s.respQ.Pop()
 	line := pkt.Req.LineAddr()
-	s.l1.Fill(line, cycle, false)
+	if !pkt.Req.NoFill {
+		s.l1.Fill(line, cycle, false)
+	}
 	for _, r := range s.mshr.Release(line) {
 		if lt, ok := r.Meta.(*loadTracker); ok && lt != nil {
 			lt.remaining--
@@ -449,6 +481,23 @@ func (s *SM) accessL1(cycle int64) {
 		t.req.IssueCycle = cycle
 		s.ldstQ.Pop()
 	case cache.Miss:
+		if s.mayBypass && s.mshr.Lookup(line) != nil {
+			// A bypassed line holds no Reserved tag, so a secondary
+			// miss on it probes Miss while the MSHR already tracks the
+			// line (unreachable with fill-always). Merge like the
+			// HitReserved arm instead of allocating a second entry.
+			if !s.mshr.CanMerge(line) {
+				s.stats.StallMSHR++
+				return
+			}
+			s.l1.Lookup(line, false, cycle)
+			if res := s.mshr.Allocate(line, t.req, cycle); res != cache.AllocMerged {
+				panic(fmt.Sprintf("core: expected L1 MSHR merge, got %v", res))
+			}
+			t.req.IssueCycle = cycle
+			s.ldstQ.Pop()
+			return
+		}
 		if s.mshr.Full() {
 			s.stats.StallMSHR++
 			return
@@ -457,13 +506,22 @@ func (s *SM) accessL1(cycle int64) {
 			s.stats.StallMissQ++
 			return
 		}
-		if !s.l1.CanReserve(line) {
+		fill := !s.mayBypass || s.fillPol.ShouldFill(line)
+		if fill && !s.l1.CanReserve(line) {
 			s.stats.StallResFail++
 			return
 		}
 		s.l1.Lookup(line, false, cycle)
-		if _, _, ok := s.l1.Reserve(line, cycle); !ok {
-			panic("core: CanReserve lied")
+		if fill {
+			if _, _, ok := s.l1.Reserve(line, cycle); !ok {
+				panic("core: CanReserve lied")
+			}
+		} else {
+			// The fill is routed around the L1: no way is reserved and
+			// the response will not install the line. The request
+			// carries the decision so processResponses (and nothing
+			// downstream) can tell the two kinds of fills apart.
+			t.req.NoFill = true
 		}
 		if res := s.mshr.Allocate(line, t.req, cycle); res != cache.AllocNew {
 			panic(fmt.Sprintf("core: expected fresh L1 MSHR entry, got %v", res))
@@ -531,7 +589,13 @@ func (s *SM) issue(cycle int64) {
 		if cand == 0 {
 			break
 		}
-		wid := s.pickWarp(cand)
+		wid := s.issuePol.Pick(cand, policy.IssueCtx{
+			LastIssued: s.lastIssued, MemMask: s.memCur,
+			MSHRUsed: s.mshr.Used(), MSHRCap: s.mshrCap,
+		})
+		if wid < 0 {
+			break // policy throttled the slot: issue nothing
+		}
 		s.issueOn(&s.warps[wid], cycle)
 		s.evalWarp(wid)
 		issuedNow |= uint64(1) << uint(wid)
@@ -544,7 +608,10 @@ func (s *SM) issue(cycle int64) {
 		// Nothing issued and nothing in the queues: the SM is frozen
 		// until either a response arrives (idle) or the oldest
 		// in-flight L1 hit retires (hit-wait), so later Ticks can take
-		// the fast path (same stats, none of the work).
+		// the fast path (same stats, none of the work). This holds for
+		// a throttled zero-issue too: the policy's inputs (ready/memCur
+		// masks, MSHR occupancy) only change through response delivery
+		// or hit completion, both of which end the frozen span.
 		if !s.drainOn && s.respQ.Empty() && s.ldstQ.Empty() && s.missQ.Empty() {
 			if h, ok := s.hitPipe.Peek(); ok {
 				s.sleepUntil = h.doneAt
@@ -623,26 +690,6 @@ func (s *SM) getTracker() *loadTracker {
 		return lt
 	}
 	return &loadTracker{}
-}
-
-// pickWarp selects a warp id from the non-empty candidate mask per
-// the configured policy.
-func (s *SM) pickWarp(cand uint64) int {
-	if s.cfg.Core.Scheduler == "gto" {
-		// Greedy: stick with the last-issued warp, else oldest
-		// (lowest id) candidate.
-		if cand&(uint64(1)<<uint(s.lastIssued)) != 0 {
-			return s.lastIssued
-		}
-		return bits.TrailingZeros64(cand)
-	}
-	// lrr: first candidate in the order lastIssued+1, ..., n-1, 0,
-	// ..., lastIssued. (lastIssued+1 may equal 64; a 64-bit shift of
-	// a uint64 is defined as zero, making the high mask empty.)
-	if hi := cand &^ (uint64(1)<<uint(s.lastIssued+1) - 1); hi != 0 {
-		return bits.TrailingZeros64(hi)
-	}
-	return bits.TrailingZeros64(cand)
 }
 
 // issueOn issues warp w's fetched instruction.

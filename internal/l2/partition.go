@@ -14,6 +14,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/dram"
 	"repro/internal/mem"
+	"repro/internal/policy"
 	"repro/internal/queue"
 	"repro/internal/stats"
 )
@@ -94,6 +95,22 @@ type Partition struct {
 // for writeback requests the partition originates.
 func New(id int, cfg config.Config, resp Injector, nextID *uint64) *Partition {
 	ls := cfg.L2.LineSize
+	// Resolve the L2 insertion/priority seam (see internal/policy).
+	// A policy that never protects is not wired into the tag array at
+	// all, keeping the baseline partitions byte-identical to the
+	// pre-seam code.
+	l2Name := cfg.Policy.L2Insert
+	if l2Name == "" {
+		l2Name = policy.L2Plain
+	}
+	l2Pol, err := policy.NewL2Policy(l2Name)
+	if err != nil {
+		panic(fmt.Sprintf("l2: %v", err))
+	}
+	var victim cache.VictimPolicy
+	if l2Pol.Protects() {
+		victim = l2Pol
+	}
 	p := &Partition{
 		id:      id,
 		cfg:     cfg,
@@ -104,7 +121,8 @@ func New(id int, cfg config.Config, resp Injector, nextID *uint64) *Partition {
 		l2: cache.New(cache.Config{
 			Sets: cfg.L2.Sets, Ways: cfg.L2.Ways, LineSize: ls,
 			Replacement: cfg.L2.Replacement, WriteBack: true,
-			Seed: cfg.Seed + uint64(id)*7919,
+			Seed:   cfg.Seed + uint64(id)*7919,
+			Victim: victim,
 		}),
 		mshr:          cache.NewMSHR(cfg.L2.MSHREntries, cfg.L2.MSHRMaxMerge),
 		bankBusyUntil: make([]int64, cfg.L2.BanksPerPartition),

@@ -46,6 +46,13 @@ type Request struct {
 	LineSize uint64
 	// Kind says whether this is a load, store or L2 writeback.
 	Kind AccessKind
+	// NoFill marks a load whose L1 fill is routed around the cache (a
+	// bypassing fill policy declined to allocate the line): no way was
+	// reserved, and the response must not install the line. Only the
+	// issuing core reads it; the hierarchy below ignores it. It sits
+	// beside Kind to share its padding byte rather than widen the
+	// pooled struct.
+	NoFill bool
 	// CoreID is the issuing SM (or -1 for L2-generated traffic such
 	// as writebacks).
 	CoreID int

@@ -1,0 +1,278 @@
+// Package policy defines the three pluggable mitigation seams of the
+// simulated memory hierarchy — warp issue, L1 fill/bypass, and L2
+// victim protection — as small interfaces with a registry of named
+// implementations.
+//
+// The paper (Dublish et al., IISWC 2016) characterizes *where* GPGPU
+// cycles go; its related work names the mechanisms that claw them
+// back: warp-level throttling under memory back-pressure
+// (Ausavarungnirun et al., "Holistic Management of the GPGPU Memory
+// Hierarchy") and cache bypass / insertion-priority schemes (Mutlu et
+// al., "Recent Advances in Overcoming Bottlenecks in Memory Systems").
+// This package turns the decision points those mechanisms hook into
+// seams the simulator resolves by name from config.Config.Policy:
+//
+//   - IssuePolicy replaces the hard-coded pickWarp in internal/core:
+//     which ready warp issues, and whether to issue at all this slot.
+//   - FillPolicy replaces the implicit fill-always of the L1 in
+//     internal/core: does a missing line allocate in the cache, or is
+//     the fill routed around it.
+//   - L2Policy biases victim selection in the internal/l2 partitions:
+//     lines with proven reuse can be protected from eviction.
+//
+// Implementations must be deterministic pure functions of their inputs
+// plus their own private state: simulation results must stay
+// byte-identical at any parallelism and across the event and cycle
+// engines. The baseline names ("gto"/"lrr", "always", "plain")
+// reproduce the pre-seam behavior exactly.
+//
+// policy is a leaf package (no simulator imports), so internal/config
+// can validate names at decode time while internal/core, internal/cache
+// and internal/l2 consume the interfaces without an import cycle.
+package policy
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Registered policy names. The empty string on a config.Config.Policy
+// field selects the seam's baseline (for the issue seam, the
+// Core.Scheduler field keeps choosing between gto and lrr).
+const (
+	// IssueGTO is the greedy-then-oldest(-loose) baseline scheduler.
+	IssueGTO = "gto"
+	// IssueLRR is the loose round-robin scheduler.
+	IssueLRR = "lrr"
+	// IssueThrottle is the MSHR-aware memory-warp throttler.
+	IssueThrottle = "throttle"
+	// FillAlways is the baseline L1 policy: every miss allocates.
+	FillAlways = "always"
+	// FillBypassLowReuse bypasses first-touch (streaming) L1 fills.
+	FillBypassLowReuse = "bypass-low-reuse"
+	// L2Plain is the baseline L2 victim selection (pure replacement).
+	L2Plain = "plain"
+	// L2PinHot protects L2 lines with proven reuse from eviction.
+	L2PinHot = "pin-hot"
+)
+
+// IssueCtx is the per-slot context an IssuePolicy picks from: the
+// scheduler state the baseline policies need plus the back-pressure
+// counters the throttler reads. It is passed by value — policies must
+// not retain it.
+type IssueCtx struct {
+	// LastIssued is the warp id that issued most recently (greedy
+	// anchor for gto, rotation point for lrr).
+	LastIssued int
+	// MemMask has a bit set for every warp whose next instruction is a
+	// memory access.
+	MemMask uint64
+	// MSHRUsed and MSHRCap are the SM's L1 MSHR occupancy and capacity
+	// — the back-pressure signal the throttler saturates on.
+	MSHRUsed int
+	// MSHRCap is the total number of L1 MSHR entries.
+	MSHRCap int
+}
+
+// IssuePolicy selects which ready warp issues next. Pick receives a
+// non-zero candidate mask (bit i = warp i is eligible this slot) and
+// returns the chosen warp id, or -1 to deliberately issue nothing this
+// slot (throttling); the core charges the empty slot through the
+// normal stall-attribution path.
+type IssuePolicy interface {
+	// Name returns the registered policy name.
+	Name() string
+	// Pick chooses a warp from the non-zero candidate mask, or -1.
+	Pick(cand uint64, ctx IssueCtx) int
+}
+
+// gtoPick is the greedy-then-oldest-loose choice shared by the gto and
+// throttle policies: stay on the last-issued warp while it remains
+// eligible, else fall back to the lowest-numbered (oldest) candidate.
+func gtoPick(cand uint64, last int) int {
+	if last >= 0 && cand&(uint64(1)<<uint(last)) != 0 {
+		return last
+	}
+	return bits.TrailingZeros64(cand)
+}
+
+type gtoPolicy struct{}
+
+func (gtoPolicy) Name() string { return IssueGTO }
+func (gtoPolicy) Pick(cand uint64, ctx IssueCtx) int {
+	return gtoPick(cand, ctx.LastIssued)
+}
+
+type lrrPolicy struct{}
+
+func (lrrPolicy) Name() string { return IssueLRR }
+func (lrrPolicy) Pick(cand uint64, ctx IssueCtx) int {
+	// Rotate: first candidate strictly above the last-issued warp,
+	// wrapping to the lowest candidate.
+	hi := cand &^ (uint64(1)<<uint(ctx.LastIssued+1) - 1)
+	if hi != 0 {
+		return bits.TrailingZeros64(hi)
+	}
+	return bits.TrailingZeros64(cand)
+}
+
+// throttlePolicy caps concurrently-issuing memory warps when the L1
+// MSHR file saturates (≥ 3/4 occupied): under back-pressure it masks
+// the memory warps out of the candidate set and gto-picks among the
+// compute warps, issuing nothing if only memory warps are ready. This
+// is the CTA/warp throttling idea of Ausavarungnirun et al.: stop
+// piling requests onto a saturated hierarchy and let the queues drain.
+type throttlePolicy struct{}
+
+func (throttlePolicy) Name() string { return IssueThrottle }
+func (throttlePolicy) Pick(cand uint64, ctx IssueCtx) int {
+	if ctx.MSHRUsed*4 >= ctx.MSHRCap*3 {
+		nonMem := cand &^ ctx.MemMask
+		if nonMem == 0 {
+			return -1
+		}
+		cand = nonMem
+	}
+	return gtoPick(cand, ctx.LastIssued)
+}
+
+// FillPolicy decides, at L1 miss time, whether the missing line
+// allocates in the cache (reserve a way now, fill it when the response
+// returns) or the fill is routed around the L1 straight to the warp.
+type FillPolicy interface {
+	// Name returns the registered policy name.
+	Name() string
+	// MayBypass reports whether ShouldFill can ever return false. The
+	// core uses it to keep the baseline miss path free of the extra
+	// bypass bookkeeping.
+	MayBypass() bool
+	// ShouldFill is consulted once per primary L1 miss with the line
+	// address; false routes the fill around the cache. Implementations
+	// may keep private reuse state keyed by line address.
+	ShouldFill(line uint64) bool
+}
+
+type fillAlways struct{}
+
+func (fillAlways) Name() string                { return FillAlways }
+func (fillAlways) MayBypass() bool             { return false }
+func (fillAlways) ShouldFill(line uint64) bool { return true }
+
+// bypassTableBits sizes the per-SM recent-miss tag table (2^bits
+// direct-mapped entries, 8 bytes each).
+const bypassTableBits = 8
+
+// bypassLowReuse predicts streaming (single-touch) lines and routes
+// their fills around the L1, per the bypass schemes in the Mutlu et
+// al. survey: the first miss on a line bypasses; a line that misses
+// again while its tag is still in the small recent-miss table has
+// demonstrated reuse and is allocated normally. State is per-SM and
+// deterministic, so results stay byte-identical across engines.
+type bypassLowReuse struct {
+	tags [1 << bypassTableBits]uint64
+}
+
+func (*bypassLowReuse) Name() string    { return FillBypassLowReuse }
+func (*bypassLowReuse) MayBypass() bool { return true }
+
+func (b *bypassLowReuse) ShouldFill(line uint64) bool {
+	// Line addresses are line-aligned, so bit 0 is free to mark an
+	// occupied slot (line 0 is a valid address).
+	idx := (line * 0x9E3779B97F4A7C15) >> (64 - bypassTableBits)
+	key := line | 1
+	if b.tags[idx] == key {
+		return true // second touch: reuse detected, allocate
+	}
+	b.tags[idx] = key
+	return false // first touch: predict streaming, bypass
+}
+
+// L2Policy biases the L2 partitions' victim selection: a Valid line
+// whose reuse count the policy protects is skipped while an
+// unprotected candidate exists (the replacement policy breaks ties as
+// usual, and falls back to the unbiased choice when every candidate is
+// protected).
+type L2Policy interface {
+	// Name returns the registered policy name.
+	Name() string
+	// Protects reports whether Protect can ever return true; the
+	// partitions skip the victim-filter plumbing entirely when it
+	// cannot, keeping the baseline byte-identical.
+	Protects() bool
+	// Protect reports whether a valid line that has served hits cache
+	// hits since its fill should be kept over an unprotected candidate.
+	Protect(hits int64) bool
+}
+
+type l2Plain struct{}
+
+func (l2Plain) Name() string            { return L2Plain }
+func (l2Plain) Protects() bool          { return false }
+func (l2Plain) Protect(hits int64) bool { return false }
+
+// pinHotThreshold is the reuse count at which pin-hot protects a line.
+const pinHotThreshold = 2
+
+// l2PinHot pins hot-set lines: a line that has served at least
+// pinHotThreshold hits since its fill is considered part of the
+// workload's hot set and protected from eviction while colder
+// candidates exist — a minimal insertion/priority scheme in the
+// spirit of the protection policies in the Mutlu et al. survey.
+type l2PinHot struct{}
+
+func (l2PinHot) Name() string            { return L2PinHot }
+func (l2PinHot) Protects() bool          { return true }
+func (l2PinHot) Protect(hits int64) bool { return hits >= pinHotThreshold }
+
+// IssueNames lists the registered issue policies in registry order —
+// the valid config Policy.Issue values, embedded in validation errors.
+func IssueNames() []string { return []string{IssueGTO, IssueLRR, IssueThrottle} }
+
+// FillNames lists the registered L1 fill policies in registry order.
+func FillNames() []string { return []string{FillAlways, FillBypassLowReuse} }
+
+// L2Names lists the registered L2 insertion policies in registry order.
+func L2Names() []string { return []string{L2Plain, L2PinHot} }
+
+// NewIssuePolicy resolves an issue-policy name; the error lists the
+// registered names (mirroring the api registry's unknown-kind error).
+func NewIssuePolicy(name string) (IssuePolicy, error) {
+	switch name {
+	case IssueGTO:
+		return gtoPolicy{}, nil
+	case IssueLRR:
+		return lrrPolicy{}, nil
+	case IssueThrottle:
+		return throttlePolicy{}, nil
+	}
+	return nil, fmt.Errorf("policy: unknown issue policy %q (want %s)",
+		name, strings.Join(IssueNames(), ", "))
+}
+
+// NewFillPolicy resolves an L1 fill-policy name; the error lists the
+// registered names. Stateful policies get fresh state per call, so
+// each SM owns its own reuse table.
+func NewFillPolicy(name string) (FillPolicy, error) {
+	switch name {
+	case FillAlways:
+		return fillAlways{}, nil
+	case FillBypassLowReuse:
+		return new(bypassLowReuse), nil
+	}
+	return nil, fmt.Errorf("policy: unknown L1 fill policy %q (want %s)",
+		name, strings.Join(FillNames(), ", "))
+}
+
+// NewL2Policy resolves an L2 insertion-policy name; the error lists
+// the registered names.
+func NewL2Policy(name string) (L2Policy, error) {
+	switch name {
+	case L2Plain:
+		return l2Plain{}, nil
+	case L2PinHot:
+		return l2PinHot{}, nil
+	}
+	return nil, fmt.Errorf("policy: unknown L2 insertion policy %q (want %s)",
+		name, strings.Join(L2Names(), ", "))
+}

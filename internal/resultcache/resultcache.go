@@ -49,7 +49,9 @@ import (
 // CodeVersion stamps every cache key with the simulator's result
 // semantics. Bump it whenever a change moves any measured number, so
 // entries produced by older code can never be served as current.
-const CodeVersion = "gpgpumem-results-v1"
+// v2: config.Config grew the Policy fields (mitigation seams), which
+// changes the key material for every config.
+const CodeVersion = "gpgpumem-results-v2"
 
 // Options configures a Cache.
 type Options struct {

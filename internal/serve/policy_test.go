@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/policy"
+)
+
+// policyErrorCases is the table both daemons' 400-path tests share: one
+// unknown name per policy seam, the phrase the strict decode must
+// produce, and the registered names the hint must list.
+var policyErrorCases = map[string]struct {
+	set        func(*config.PolicyConfig)
+	wantPhrase string
+	registered []string
+}{
+	"issue": {
+		set:        func(p *config.PolicyConfig) { p.Issue = "hyper-aggressive" },
+		wantPhrase: "unknown issue policy",
+		registered: policy.IssueNames(),
+	},
+	"l1_fill": {
+		set:        func(p *config.PolicyConfig) { p.L1Fill = "sometimes" },
+		wantPhrase: "unknown L1 fill policy",
+		registered: policy.FillNames(),
+	},
+	"l2_insert": {
+		set:        func(p *config.PolicyConfig) { p.L2Insert = "lru-ish" },
+		wantPhrase: "unknown L2 insertion policy",
+		registered: policy.L2Names(),
+	},
+}
+
+// policyRunBody builds a run or sweep request whose inline config
+// carries the given policy block; wl is the endpoint's workload clause
+// (`"workload":"sc"` for /v1/run, `"workloads":["sc"]` for sweeps).
+func policyRunBody(t *testing.T, wl string, set func(*config.PolicyConfig)) string {
+	t.Helper()
+	cfg := config.GTX480Baseline()
+	set(&cfg.Policy)
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return `{` + wl + `,"warmup_cycles":100,"window_cycles":300,"config":` + string(raw) + `}`
+}
+
+// TestPolicyNameErrors: an unknown policy name in an inline config is
+// a 400 whose message names the seam and lists every registered
+// policy, on the single-job endpoint and on the sweep kinds alike —
+// the strict-decode contract that keeps a misspelled mitigation from
+// silently running the baseline.
+func TestPolicyNameErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for name, tc := range policyErrorCases {
+		t.Run(name, func(t *testing.T) {
+			bodies := map[string]string{
+				"/v1/run":              policyRunBody(t, `"workload":"sc"`, tc.set),
+				"/v1/sweep/mitigation": policyRunBody(t, `"workloads":["sc"]`, tc.set),
+			}
+			for path, body := range bodies {
+				code, _, resp := post(t, ts, path, body)
+				if code != http.StatusBadRequest || !strings.Contains(resp, tc.wantPhrase) {
+					t.Errorf("%s: code=%d body=%s", path, code, resp)
+					continue
+				}
+				for _, reg := range tc.registered {
+					if !strings.Contains(resp, reg) {
+						t.Errorf("%s: error does not list registered policy %q: %s", path, reg, resp)
+					}
+				}
+				var envlp map[string]string
+				if err := json.Unmarshal([]byte(resp), &envlp); err != nil || envlp["error"] == "" {
+					t.Errorf("%s: error response is not the documented envelope: %s", path, resp)
+				}
+			}
+		})
+	}
+
+	// Registered names pass the same gate: a throttled run is a 200.
+	body := policyRunBody(t, `"workload":"sc"`, func(p *config.PolicyConfig) {
+		p.Issue = policy.IssueThrottle
+		p.L1Fill = policy.FillBypassLowReuse
+		p.L2Insert = policy.L2PinHot
+	})
+	code, _, resp := post(t, ts, "/v1/run", body)
+	if code != http.StatusOK {
+		t.Errorf("all-policies run rejected: code=%d body=%s", code, resp)
+	}
+}

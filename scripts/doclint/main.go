@@ -7,7 +7,7 @@
 //
 // With no arguments it checks the repository's documented public
 // surface: gpgpumem.go and
-// internal/{api,serve,resultcache,runner,fabric,exp}.
+// internal/{api,serve,resultcache,runner,fabric,exp,policy}.
 // Each argument is a .go file or a package directory; _test.go files
 // are always skipped.
 //
@@ -41,6 +41,7 @@ var defaultTargets = []string{
 	"internal/runner",
 	"internal/fabric",
 	"internal/exp",
+	"internal/policy",
 }
 
 func main() {
